@@ -1,0 +1,90 @@
+// Q1 — "Does Edgelet computing concretely make sense?" (paper §3.3 and
+// Figure 1). The demo's first objective is versatility across TEE devices
+// "from high-end device (PC) to low-end device (home box)". This bench
+// reports the per-class cost model for typical operator workloads and the
+// end-to-end effect of the fleet's device mix. Expected shape: the home box
+// (STM32+TPM) is ~60x slower per tuple than the SGX PC, yet completion time
+// is dominated by communication, so mixed fleets finish close to PC-only
+// fleets.
+
+#include "bench_util.h"
+
+using namespace edgelet;
+
+int main() {
+  bench::PrintHeader(
+      "Q1: heterogeneous device classes (PC/SGX, phone/TrustZone, box/TPM)",
+      "Expected: per-tuple compute spans ~2 orders of magnitude across "
+      "classes, but end-to-end completion is latency-dominated.");
+
+  core::FrameworkConfig probe_cfg = bench::StandardFleet(1, 0, 1);
+  core::EdgeletFramework probe(probe_cfg);
+  if (!probe.Init().ok()) return 1;
+
+  std::printf("Per-class compute model (simulated):\n");
+  std::printf("%-24s %9s %14s %14s\n", "device class", "factor",
+              "200 tuples", "2000 tuples");
+  bench::PrintRule(66);
+  struct ClassCase {
+    const char* label;
+    device::DeviceProfile profile;
+  };
+  net::Simulator sim(1);
+  net::Network net_(&sim, {});
+  tee::TrustAuthority authority(1);
+  for (const ClassCase& cc : {
+           ClassCase{"PC (Intel SGX)", device::DeviceProfile::Pc()},
+           ClassCase{"Smartphone (TrustZone)",
+                     device::DeviceProfile::Smartphone()},
+           ClassCase{"Home box (STM32+TPM)",
+                     device::DeviceProfile::HomeBox()},
+       }) {
+    device::DeviceProfile p = cc.profile;
+    p.churn = net::ChurnModel::AlwaysOn();
+    device::Device dev(&net_, &authority, p, "probe");
+    std::printf("%-24s %9.1f %14s %14s\n", cc.label, p.compute_factor,
+                FormatSimTime(dev.ComputeCost(200)).c_str(),
+                FormatSimTime(dev.ComputeCost(2000)).c_str());
+  }
+
+  std::printf("\nEnd-to-end effect of the processor mix (same query/plan):\n");
+  std::printf("%-28s %12s %12s %9s\n", "processor mix", "done(sim)",
+              "messages", "valid");
+  bench::PrintRule(66);
+  struct MixCase {
+    const char* label;
+    device::DeviceMix mix;
+  };
+  for (const MixCase& mc : {
+           MixCase{"PCs only", {1.0, 0.0, 0.0}},
+           MixCase{"phones only", {0.0, 1.0, 0.0}},
+           MixCase{"home boxes only", {0.0, 0.0, 1.0}},
+           MixCase{"mixed 40/40/20", {0.4, 0.4, 0.2}},
+       }) {
+    core::FrameworkConfig cfg = bench::StandardFleet(400, 60, 17);
+    cfg.fleet.processor_mix = mc.mix;
+    core::EdgeletFramework fw(cfg);
+    if (!fw.Init().ok()) return 1;
+    query::Query q = bench::SurveyQuery(100, 17);
+    core::PrivacyConfig privacy;
+    privacy.max_tuples_per_edgelet = 25;
+    auto d = fw.Plan(q, privacy, {0.05, 0.99},
+                     exec::Strategy::kOvercollection);
+    if (!d.ok()) return 1;
+    exec::ExecutionConfig ec;
+    ec.collection_window = 2 * kMinute;
+    ec.deadline = 10 * kMinute;
+    ec.inject_failures = false;
+    auto report = fw.Execute(*d, ec);
+    if (!report.ok() || !report->success) {
+      std::printf("%-28s %12s\n", mc.label, "failed");
+      continue;
+    }
+    auto validity = fw.VerifyGroupingSets(*d, *report);
+    std::printf("%-28s %12s %12llu %9s\n", mc.label,
+                FormatSimTime(report->completion_time).c_str(),
+                static_cast<unsigned long long>(report->messages_sent),
+                (validity.ok() && validity->valid) ? "yes" : "NO");
+  }
+  return 0;
+}

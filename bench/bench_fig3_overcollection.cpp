@@ -1,0 +1,80 @@
+// FIG3 — Overcollection degree (paper Figure 3 and §2.2).
+// The QEP expands from n to n+m partitions; m is the smallest value whose
+// binomial survival probability meets the reliability target. Prints m as a
+// function of the presumed failure probability, for several n and targets.
+// Expected shape: m grows with p and with the target, stays well below n
+// for realistic p (overcollection is cheap).
+
+#include "bench_util.h"
+#include "resilience/overcollection.h"
+
+using namespace edgelet;
+
+int main() {
+  bench::PrintHeader(
+      "FIG3: overcollection degree m = f(failure probability)",
+      "Expected: m increasing in p and in the reliability target; m << n "
+      "for realistic p (paper: overcollection is the cheap strategy).");
+
+  const std::vector<double> probs = {0.01, 0.02, 0.05, 0.10,
+                                     0.15, 0.20, 0.30, 0.40};
+  const std::vector<int> ns = {4, 10, 20, 50, 100};
+
+  std::printf("reliability target 0.99, 2 operators per partition\n");
+  std::printf("%8s", "p \\ n");
+  for (int n : ns) std::printf(" %7d", n);
+  std::printf("\n");
+  bench::PrintRule(50);
+  for (double p : probs) {
+    std::printf("%8.2f", p);
+    for (int n : ns) {
+      auto m = resilience::MinOvercollection(n, p, 0.99);
+      if (m.ok()) {
+        std::printf(" %7d", *m);
+      } else {
+        std::printf(" %7s", "-");
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nn = 10, effect of the reliability target\n");
+  std::printf("%8s %8s %8s %8s %8s\n", "p", "t=0.9", "t=0.99", "t=0.999",
+              "t=0.9999");
+  bench::PrintRule(50);
+  for (double p : probs) {
+    std::printf("%8.2f", p);
+    for (double target : {0.9, 0.99, 0.999, 0.9999}) {
+      auto m = resilience::MinOvercollection(10, p, target);
+      std::printf(" %8d", m.ok() ? *m : -1);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nn = 10, target 0.99: effect of operators per partition "
+              "(1 builder + v computers)\n");
+  std::printf("%8s %8s %8s %8s\n", "p", "ops=2", "ops=3", "ops=5");
+  bench::PrintRule(50);
+  for (double p : probs) {
+    std::printf("%8.2f", p);
+    for (int ops : {2, 3, 5}) {
+      auto m = resilience::MinOvercollection(10, p, 0.99, ops);
+      std::printf(" %8d", m.ok() ? *m : -1);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nBackup-strategy replica sizing (same resiliency goal, "
+              "for comparison)\n");
+  std::printf("%8s %10s %10s %10s\n", "p", "ops=9", "ops=21", "ops=101");
+  bench::PrintRule(50);
+  for (double p : probs) {
+    std::printf("%8.2f", p);
+    for (int ops : {9, 21, 101}) {
+      auto b = resilience::MinBackupReplicas(ops, p, 0.99);
+      std::printf(" %10d", b.ok() ? *b : -1);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+// P2-KM — K-Means accuracy vs number of heartbeats (paper §3.3 Q4).
+// "Attendees will be allowed to vary the failure context (e.g.,
+// disconnection probability) and see ... the effects on the results
+// accuracy with respect to the number of heartbeats."
+// Expected shape: inertia ratio (distributed / centralized) approaches 1 as
+// heartbeats increase; higher message-loss probability slows convergence
+// but never prevents a result (heartbeats force progression).
+
+#include "bench_util.h"
+
+using namespace edgelet;
+
+int main() {
+  bench::PrintHeader(
+      "P2-KM: K-Means accuracy vs heartbeats x message loss",
+      "Expected: accuracy (inertia ratio -> 1) improves with heartbeats; "
+      "loss degrades it gracefully; a result is always produced.");
+
+  const std::vector<int> heartbeat_counts = {1, 2, 4, 8, 12};
+  const std::vector<double> drop_probs = {0.0, 0.25, 0.5};
+  const int kTrialsPerCell = 3;
+
+  std::printf("%6s", "hb \\ p");
+  for (double p : drop_probs) std::printf("   p=%.2f        ", p);
+  std::printf("\n%6s", "");
+  for (size_t i = 0; i < drop_probs.size(); ++i) {
+    std::printf("   %-7s %-7s", "inertia", "rmse");
+  }
+  std::printf("\n");
+  bench::PrintRule();
+
+  for (int heartbeats : heartbeat_counts) {
+    std::printf("%6d", heartbeats);
+    for (double drop : drop_probs) {
+      double sum_ratio = 0, sum_rmse = 0;
+      int done = 0;
+      for (int trial = 0; trial < kTrialsPerCell; ++trial) {
+        // Fleet seeds paired across cells so rows/columns are comparable.
+        core::FrameworkConfig cfg = bench::StandardFleet(800, 60, 77 + trial);
+        cfg.network.drop_probability = drop;
+        core::EdgeletFramework fw(cfg);
+        if (!fw.Init().ok()) return 1;
+
+        query::Query q = bench::ClusterQuery(120, 4, 77);
+        core::PrivacyConfig privacy;
+        privacy.max_tuples_per_edgelet = 30;  // n = 4
+        auto d = fw.Plan(q, privacy, {0.1, 0.99},
+                         exec::Strategy::kOvercollection);
+        if (!d.ok()) return 1;
+
+        exec::ExecutionConfig ec;
+        ec.collection_window = 60 * kSecond;
+        ec.heartbeat_period = 20 * kSecond;
+        ec.num_heartbeats = heartbeats;
+        ec.deadline = ec.collection_window +
+                      (heartbeats + 4) * ec.heartbeat_period + 3 * kMinute;
+        ec.combiner_margin = kMinute;
+        ec.inject_failures = false;
+        ec.seed = 11 + trial;
+        auto report = fw.Execute(*d, ec);
+        if (!report.ok() || !report->success) continue;
+
+        // Extract distributed centroids from the result table.
+        ml::Matrix distributed;
+        for (const auto& row : report->result.rows()) {
+          std::vector<double> c;
+          for (size_t f = 0; f < q.kmeans.features.size(); ++f) {
+            c.push_back(row[2 + f].AsDouble());
+          }
+          distributed.push_back(std::move(c));
+        }
+        auto central = fw.CentralizedKMeans(q);
+        auto points = fw.QualifyingPoints(q);
+        if (!central.ok() || !points.ok()) return 1;
+        auto ratio =
+            ml::InertiaRatio(*points, distributed, central->centroids);
+        auto rmse = ml::MatchedCentroidRmse(distributed, central->centroids);
+        if (ratio.ok() && rmse.ok()) {
+          sum_ratio += *ratio;
+          sum_rmse += *rmse;
+          ++done;
+        }
+      }
+      if (done == 0) {
+        std::printf("   %-7s %-7s", "fail", "-");
+      } else {
+        std::printf("   %-7.3f %-7.2f", sum_ratio / done, sum_rmse / done);
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("\n(means over %d trials; inertia = distributed/centralized "
+              "inertia on all qualifying points; rmse = matched-centroid "
+              "RMSE)\n",
+              kTrialsPerCell);
+  return 0;
+}

@@ -1,0 +1,164 @@
+// MICRO — google-benchmark microbenchmarks for the substrate hot paths:
+// crypto (the cost every sealed message pays), serialization, aggregate
+// merging, the DES event loop, Lloyd steps, and Hungarian matching.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "common/serialize.h"
+#include "crypto/aead.h"
+#include "crypto/sha256.h"
+#include "data/generator.h"
+#include "ml/kmeans.h"
+#include "ml/metrics.h"
+#include "net/simulator.h"
+#include "query/groupby.h"
+
+namespace edgelet {
+namespace {
+
+void BM_Sha256(benchmark::State& state) {
+  Bytes data(state.range(0), 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::Hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_AeadSeal(benchmark::State& state) {
+  crypto::Key256 key{};
+  key[0] = 1;
+  Bytes payload(state.range(0), 0x42);
+  Bytes aad(28, 0x11);
+  uint64_t seq = 0;
+  for (auto _ : state) {
+    auto nonce = crypto::NonceFromSequence(7, seq++);
+    benchmark::DoNotOptimize(crypto::AeadSeal(key, nonce, aad, payload));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AeadSeal)->Arg(128)->Arg(1024)->Arg(8192);
+
+void BM_AeadOpen(benchmark::State& state) {
+  crypto::Key256 key{};
+  key[0] = 1;
+  Bytes payload(state.range(0), 0x42);
+  Bytes aad(28, 0x11);
+  auto nonce = crypto::NonceFromSequence(7, 1);
+  Bytes sealed = crypto::AeadSeal(key, nonce, aad, payload);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::AeadOpen(key, nonce, aad, sealed));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AeadOpen)->Arg(128)->Arg(1024)->Arg(8192);
+
+void BM_TableSerialize(benchmark::State& state) {
+  data::HealthDataParams params;
+  params.num_individuals = state.range(0);
+  data::Table table = data::GenerateHealthData(params, 1);
+  for (auto _ : state) {
+    Writer w;
+    table.Serialize(&w);
+    benchmark::DoNotOptimize(w.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TableSerialize)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_TableDeserialize(benchmark::State& state) {
+  data::HealthDataParams params;
+  params.num_individuals = state.range(0);
+  data::Table table = data::GenerateHealthData(params, 1);
+  Writer w;
+  table.Serialize(&w);
+  for (auto _ : state) {
+    Reader r(w.data());
+    benchmark::DoNotOptimize(data::Table::Deserialize(&r));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TableDeserialize)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_GroupByCompute(benchmark::State& state) {
+  data::HealthDataParams params;
+  params.num_individuals = state.range(0);
+  data::Table table = data::GenerateHealthData(params, 1);
+  query::GroupBySpec spec{
+      {"region", "sex"},
+      {{query::AggregateFunction::kCount, "*"},
+       {query::AggregateFunction::kAvg, "bmi"},
+       {query::AggregateFunction::kVariance, "systolic_bp"}}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(query::GroupedAggregation::Compute(table, spec));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GroupByCompute)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_GroupByMerge(benchmark::State& state) {
+  data::HealthDataParams params;
+  params.num_individuals = 1000;
+  data::Table table = data::GenerateHealthData(params, 1);
+  query::GroupBySpec spec{
+      {"region", "sex"},
+      {{query::AggregateFunction::kCount, "*"},
+       {query::AggregateFunction::kAvg, "bmi"}}};
+  auto partial = query::GroupedAggregation::Compute(table, spec);
+  for (auto _ : state) {
+    query::GroupedAggregation acc;
+    for (int i = 0; i < 8; ++i) {
+      benchmark::DoNotOptimize(acc.Merge(*partial));
+    }
+  }
+}
+BENCHMARK(BM_GroupByMerge);
+
+void BM_SimulatorEvents(benchmark::State& state) {
+  for (auto _ : state) {
+    net::Simulator sim(1);
+    uint64_t count = 0;
+    for (int i = 0; i < state.range(0); ++i) {
+      sim.ScheduleAt(sim.rng().NextBelow(1000000),
+                     [&count]() { ++count; });
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorEvents)->Arg(1000)->Arg(10000);
+
+void BM_LloydStep(benchmark::State& state) {
+  Rng rng(1);
+  ml::Matrix points;
+  for (int i = 0; i < state.range(0); ++i) {
+    points.push_back({rng.NextGaussian(), rng.NextGaussian(),
+                      rng.NextGaussian(), rng.NextGaussian()});
+  }
+  auto init = ml::KMeansPlusPlusInit(points, 8, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ml::RunLloydStep(points, *init));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LloydStep)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_Hungarian(benchmark::State& state) {
+  Rng rng(2);
+  const int n = state.range(0);
+  ml::Matrix cost(n, std::vector<double>(n));
+  for (auto& row : cost) {
+    for (auto& c : row) c = rng.NextDouble();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ml::HungarianAssign(cost));
+  }
+}
+BENCHMARK(BM_Hungarian)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace edgelet
+
+BENCHMARK_MAIN();

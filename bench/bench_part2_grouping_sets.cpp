@@ -1,0 +1,76 @@
+// P2-GS — Demo Part 2: distributed Grouping Sets execution (paper §3.2/3.3).
+// Runs the survey query end to end under injected crash failures and checks
+// the two contracted properties per trial:
+//   Resiliency — completion before the deadline at rate >= the target;
+//   Validity   — the delivered table equals a centralized run over the same
+//                snapshot.
+// Expected: success rate >= ~0.99 whenever the actual failure rate matches
+// the presumption, and 100% of delivered results valid.
+
+#include "bench_util.h"
+
+using namespace edgelet;
+
+int main() {
+  bench::PrintHeader(
+      "P2-GS: Grouping Sets under failures — success and validity",
+      "Expected: success rate >= target while actual p <= presumed p; "
+      "every delivered result exactly matches the centralized rerun.");
+
+  const int kTrials = 15;
+  const double kPresumed = 0.15;
+
+  std::printf("plan: presume p=%.2f, target 0.99; inject actual p per row\n",
+              kPresumed);
+  std::printf("%10s %9s %9s %11s %10s %9s\n", "actual p", "success",
+              "valid", "mean done", "mean msgs", "killed");
+  bench::PrintRule();
+
+  for (double actual : {0.0, 0.05, 0.10, 0.15, 0.25}) {
+    int successes = 0, valid = 0;
+    double sum_done = 0;
+    uint64_t sum_msgs = 0, sum_killed = 0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      uint64_t seed = 1000 + trial;
+      core::EdgeletFramework fw(bench::StandardFleet(350, 60, seed));
+      if (!fw.Init().ok()) return 1;
+      query::Query q = bench::SurveyQuery(80, /*query_id=*/seed);
+      core::PrivacyConfig privacy;
+      privacy.max_tuples_per_edgelet = 20;  // n = 4
+      auto d = fw.Plan(q, privacy, {kPresumed, 0.99},
+                       exec::Strategy::kOvercollection);
+      if (!d.ok()) {
+        std::fprintf(stderr, "plan failed: %s\n",
+                     d.status().ToString().c_str());
+        return 1;
+      }
+      exec::ExecutionConfig ec;
+      ec.collection_window = 90 * kSecond;
+      ec.deadline = 8 * kMinute;
+      ec.inject_failures = true;
+      ec.failure_probability = actual;
+      ec.seed = seed * 7 + 1;
+      auto report = fw.Execute(*d, ec);
+      if (!report.ok()) continue;
+      sum_killed += report->processors_killed;
+      sum_msgs += report->messages_sent;
+      if (report->success) {
+        ++successes;
+        sum_done += ToSeconds(report->completion_time);
+        auto validity = fw.VerifyGroupingSets(*d, *report);
+        if (validity.ok() && validity->valid) ++valid;
+      }
+    }
+    std::printf("%10.2f %8d%% %8d%% %10.1fs %10llu %9.1f\n", actual,
+                100 * successes / kTrials,
+                successes ? 100 * valid / successes : 0,
+                successes ? sum_done / successes : 0.0,
+                static_cast<unsigned long long>(sum_msgs / kTrials),
+                static_cast<double>(sum_killed) / kTrials);
+  }
+
+  std::printf("\nNote: at actual p above the presumption the success rate "
+              "may drop below the target — the contract only covers the "
+              "presumed fault rate.\n");
+  return 0;
+}

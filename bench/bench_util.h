@@ -1,0 +1,76 @@
+#ifndef EDGELET_BENCH_BENCH_UTIL_H_
+#define EDGELET_BENCH_BENCH_UTIL_H_
+
+// Shared builders and table-printing helpers for the experiment harness.
+// Every bench binary prints the series/rows of one paper figure or demo
+// claim (see DESIGN.md experiment index) and exits 0.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/framework.h"
+
+namespace edgelet::bench {
+
+// The demo's Grouping Sets query (i): multiple Group-By clauses over one
+// snapshot of the elderly population.
+inline query::Query SurveyQuery(uint64_t snapshot_cardinality,
+                                uint64_t query_id = 1) {
+  query::Query q;
+  q.query_id = query_id;
+  q.name = "health survey";
+  q.kind = query::QueryKind::kGroupingSets;
+  q.predicates = {{"age", query::CompareOp::kGt, data::Value(int64_t{65})}};
+  q.snapshot_cardinality = snapshot_cardinality;
+  q.grouping_sets = query::GroupingSetsSpec{
+      {{"region"}, {"sex"}},
+      {{query::AggregateFunction::kCount, "*"},
+       {query::AggregateFunction::kAvg, "bmi"},
+       {query::AggregateFunction::kAvg, "systolic_bp"}}};
+  return q;
+}
+
+// The demo's K-Means query (ii).
+inline query::Query ClusterQuery(uint64_t snapshot_cardinality, int k = 4,
+                                 uint64_t query_id = 2) {
+  query::Query q;
+  q.query_id = query_id;
+  q.name = "dependency clustering";
+  q.kind = query::QueryKind::kKMeans;
+  q.predicates = {{"age", query::CompareOp::kGt, data::Value(int64_t{65})}};
+  q.snapshot_cardinality = snapshot_cardinality;
+  q.kmeans.k = k;
+  q.kmeans.features = {"age", "bmi", "systolic_bp", "chronic_count"};
+  q.kmeans.cluster_aggregates = {
+      {query::AggregateFunction::kAvg, "dependency"}};
+  return q;
+}
+
+inline core::FrameworkConfig StandardFleet(size_t contributors,
+                                           size_t processors, uint64_t seed,
+                                           bool churn = false) {
+  core::FrameworkConfig cfg;
+  cfg.fleet.num_contributors = contributors;
+  cfg.fleet.num_processors = processors;
+  cfg.fleet.enable_churn = churn;
+  cfg.seed = seed;
+  return cfg;
+}
+
+inline void PrintHeader(const std::string& experiment,
+                        const std::string& claim) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("%s\n", claim.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void PrintRule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace edgelet::bench
+
+#endif  // EDGELET_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,116 @@
+// Demo query (ii): K-Means over clinical features followed by a Group-By on
+// the resulting clusters — "which characteristics most influence the
+// dependency level of an elderly person" (paper §3.2).
+//
+//   $ ./examples/kmeans_clustering
+//
+// Shows the heartbeat-cadenced iterative execution and compares the
+// distributed clustering against a centralized K-Means on the same
+// population.
+
+#include <cstdio>
+
+#include "core/framework.h"
+
+using namespace edgelet;
+
+int main() {
+  core::FrameworkConfig config;
+  config.fleet.num_contributors = 600;
+  config.fleet.num_processors = 80;
+  config.fleet.enable_churn = false;
+  config.network.drop_probability = 0.05;  // lossy links
+  config.seed = 31337;
+
+  core::EdgeletFramework framework(config);
+  if (Status s = framework.Init(); !s.ok()) {
+    std::fprintf(stderr, "init failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  query::Query q;
+  q.query_id = 7;
+  q.name = "dependency clustering";
+  q.kind = query::QueryKind::kKMeans;
+  q.predicates = {{"age", query::CompareOp::kGt, data::Value(int64_t{65})}};
+  q.snapshot_cardinality = 120;
+  q.kmeans.k = 4;
+  q.kmeans.features = {"age", "bmi", "systolic_bp", "chronic_count"};
+  q.kmeans.local_iterations = 2;
+  q.kmeans.cluster_aggregates = {
+      {query::AggregateFunction::kAvg, "dependency"},
+      {query::AggregateFunction::kMin, "dependency"},
+      {query::AggregateFunction::kMax, "dependency"}};
+
+  core::PrivacyConfig privacy;
+  privacy.max_tuples_per_edgelet = 40;  // n = 3 computers share the load
+  resilience::ResilienceConfig resilience;
+  resilience.failure_probability = 0.1;
+
+  auto plan = framework.Plan(q, privacy, resilience,
+                             exec::Strategy::kOvercollection);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "planning failed: %s\n",
+                 plan.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Plan: n=%d (+m=%d), quota=%llu tuples per computer "
+              "(crowd needs >= %llu qualifying contributors)\n",
+              plan->n, plan->m,
+              static_cast<unsigned long long>(plan->quota),
+              static_cast<unsigned long long>(plan->MinQualifyingCrowd()));
+
+  exec::ExecutionConfig ec;
+  ec.collection_window = 2 * kMinute;
+  ec.deadline = 20 * kMinute;
+  ec.combiner_margin = 2 * kMinute;
+  ec.heartbeat_period = 30 * kSecond;
+  ec.num_heartbeats = 12;
+  ec.inject_failures = true;
+  ec.failure_probability = resilience.failure_probability;
+  ec.seed = 5;
+
+  auto report = framework.Execute(*plan, ec);
+  if (!report.ok()) {
+    std::fprintf(stderr, "execution failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("success: %s, completion %s, %llu messages\n",
+              report->success ? "yes" : "no",
+              FormatSimTime(report->completion_time).c_str(),
+              static_cast<unsigned long long>(report->messages_sent));
+  if (!report->success) return 1;
+
+  std::printf("\n--- Clusters (centroids + per-cluster dependency) ---\n%s\n",
+              report->result.ToString(10).c_str());
+
+  // Accuracy vs a centralized K-Means over all qualifying individuals.
+  auto central = framework.CentralizedKMeans(q);
+  auto points = framework.QualifyingPoints(q);
+  if (central.ok() && points.ok()) {
+    ml::Matrix distributed;
+    for (const auto& row : report->result.rows()) {
+      std::vector<double> c;
+      for (size_t f = 0; f < q.kmeans.features.size(); ++f) {
+        c.push_back(row[2 + f].AsDouble());  // cluster, size, centroids...
+      }
+      distributed.push_back(std::move(c));
+    }
+    auto ratio =
+        ml::InertiaRatio(*points, distributed, central->centroids);
+    auto rmse =
+        ml::MatchedCentroidRmse(distributed, central->centroids);
+    if (ratio.ok() && rmse.ok()) {
+      std::printf("accuracy: inertia ratio %.4f (1.0 = centralized), "
+                  "matched-centroid RMSE %.3f\n",
+                  *ratio, *rmse);
+    }
+  }
+
+  // Interpretation: clusters ordered by dependency tell the querier which
+  // clinical profile drives dependency.
+  std::printf("\nInterpretation: compare AVG(dependency) across clusters — "
+              "low-dependency clusters (GIR 5-6) vs frail ones (GIR 1-2).\n");
+  return 0;
+}

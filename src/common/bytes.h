@@ -1,0 +1,31 @@
+#ifndef EDGELET_COMMON_BYTES_H_
+#define EDGELET_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace edgelet {
+
+using Bytes = std::vector<uint8_t>;
+
+// Lowercase hex encoding ("deadbeef").
+std::string ToHex(const Bytes& bytes);
+std::string ToHex(const uint8_t* data, size_t len);
+
+// Decodes lowercase/uppercase hex; fails on odd length or non-hex chars.
+Result<Bytes> FromHex(std::string_view hex);
+
+inline Bytes BytesFromString(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+inline std::string StringFromBytes(const Bytes& b) {
+  return std::string(b.begin(), b.end());
+}
+
+}  // namespace edgelet
+
+#endif  // EDGELET_COMMON_BYTES_H_

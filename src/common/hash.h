@@ -1,0 +1,31 @@
+#ifndef EDGELET_COMMON_HASH_H_
+#define EDGELET_COMMON_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace edgelet {
+
+// FNV-1a 64-bit over raw bytes. Used for non-cryptographic hashing
+// (partition assignment, hash aggregation). Cryptographic hashing lives in
+// crypto/sha256.h.
+uint64_t Fnv1a64(const void* data, size_t len);
+
+inline uint64_t Fnv1a64(std::string_view s) {
+  return Fnv1a64(s.data(), s.size());
+}
+
+// Avalanching finalizer (MurmurHash3 fmix64); turns low-entropy integers
+// (sequential ids) into well-distributed hash values.
+uint64_t Mix64(uint64_t x);
+
+// Boost-style combiner.
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return seed ^ (Mix64(value) + 0x9E3779B97F4A7C15ULL + (seed << 6) +
+                 (seed >> 2));
+}
+
+}  // namespace edgelet
+
+#endif  // EDGELET_COMMON_HASH_H_

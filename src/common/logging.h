@@ -1,0 +1,50 @@
+#ifndef EDGELET_COMMON_LOGGING_H_
+#define EDGELET_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace edgelet {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarning = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+// Process-wide minimum level; messages below it are dropped before
+// formatting. Defaults to kWarning so tests and benches stay quiet.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace edgelet
+
+#define EDGELET_LOG(level)                                      \
+  if (::edgelet::LogLevel::level < ::edgelet::GetLogLevel()) {  \
+  } else                                                        \
+    ::edgelet::internal::LogMessage(::edgelet::LogLevel::level, \
+                                    __FILE__, __LINE__)
+
+#endif  // EDGELET_COMMON_LOGGING_H_

@@ -1,0 +1,70 @@
+#ifndef EDGELET_COMMON_RNG_H_
+#define EDGELET_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace edgelet {
+
+// Deterministic 64-bit PRNG (xoshiro256** seeded through SplitMix64).
+// All randomness in the library — data generation, operator assignment,
+// network latency/drops, churn — flows through instances of this class so a
+// single seed reproduces an entire experiment bit-for-bit.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  // Uniform over the full 64-bit range.
+  uint64_t NextU64();
+
+  // Uniform in [0, bound) with rejection sampling (no modulo bias).
+  // bound must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  // Returns true with probability p (clamped to [0,1]).
+  bool NextBernoulli(double p);
+
+  // Standard normal via Box-Muller (cached second deviate).
+  double NextGaussian();
+  double NextGaussian(double mean, double stddev);
+
+  // Exponential with the given rate (mean = 1/rate). rate must be > 0.
+  double NextExponential(double rate);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(NextBelow(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  // Derives an independent child generator; children with distinct tags do
+  // not correlate with the parent or each other.
+  Rng Fork(uint64_t tag);
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+// SplitMix64 step, exposed for seeding/hashing helpers.
+uint64_t SplitMix64(uint64_t* state);
+
+}  // namespace edgelet
+
+#endif  // EDGELET_COMMON_RNG_H_

@@ -1,0 +1,78 @@
+#ifndef EDGELET_COMMON_SERIALIZE_H_
+#define EDGELET_COMMON_SERIALIZE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace edgelet {
+
+// Append-only binary encoder. Integers are little-endian fixed width or
+// LEB128 varints; strings and blobs are varint-length-prefixed. The wire
+// format is what edgelets exchange (inside AEAD envelopes), so it must be
+// deterministic and platform independent.
+class Writer {
+ public:
+  Writer() = default;
+
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutU16(uint16_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+  void PutDouble(double v);
+
+  // Unsigned LEB128.
+  void PutVarint(uint64_t v);
+  // ZigZag-encoded signed varint.
+  void PutVarintSigned(int64_t v);
+
+  void PutString(std::string_view s);
+  void PutBytes(const Bytes& b);
+  void PutRaw(const void* data, size_t len);
+
+  const Bytes& data() const { return buf_; }
+  Bytes Take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+// Sequential decoder over a byte span; every getter fails cleanly (never
+// reads past the end) so corrupt or truncated messages surface as Status.
+class Reader {
+ public:
+  Reader(const uint8_t* data, size_t len) : data_(data), len_(len) {}
+  explicit Reader(const Bytes& b) : Reader(b.data(), b.size()) {}
+
+  Result<uint8_t> GetU8();
+  Result<uint16_t> GetU16();
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+  Result<int64_t> GetI64();
+  Result<bool> GetBool();
+  Result<double> GetDouble();
+  Result<uint64_t> GetVarint();
+  Result<int64_t> GetVarintSigned();
+  Result<std::string> GetString();
+  Result<Bytes> GetBytes();
+
+  size_t remaining() const { return len_ - pos_; }
+  bool AtEnd() const { return pos_ == len_; }
+
+ private:
+  Status Need(size_t n);
+
+  const uint8_t* data_;
+  size_t len_;
+  size_t pos_ = 0;
+};
+
+}  // namespace edgelet
+
+#endif  // EDGELET_COMMON_SERIALIZE_H_

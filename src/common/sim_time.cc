@@ -1,0 +1,23 @@
+#include "common/sim_time.h"
+
+#include <cstdio>
+
+namespace edgelet {
+
+std::string FormatSimTime(SimTime t) {
+  char buf[64];
+  if (t == kSimTimeNever) return "never";
+  if (t < kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%lluus",
+                  static_cast<unsigned long long>(t));
+  } else if (t < kSecond) {
+    std::snprintf(buf, sizeof(buf), "%.3fms",
+                  static_cast<double>(t) / kMillisecond);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fs",
+                  static_cast<double>(t) / kSecond);
+  }
+  return buf;
+}
+
+}  // namespace edgelet

@@ -1,0 +1,38 @@
+#ifndef EDGELET_COMMON_SIM_TIME_H_
+#define EDGELET_COMMON_SIM_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace edgelet {
+
+// Simulated time in microseconds since the start of the simulation.
+// Plain integer (not std::chrono) so it serializes trivially and compares
+// fast in the event queue hot path.
+using SimTime = uint64_t;
+// Durations share the representation; negative durations never occur.
+using SimDuration = uint64_t;
+
+constexpr SimDuration kMicrosecond = 1;
+constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+constexpr SimDuration kSecond = 1000 * kMillisecond;
+constexpr SimDuration kMinute = 60 * kSecond;
+constexpr SimDuration kHour = 60 * kMinute;
+
+constexpr SimTime kSimTimeNever = UINT64_MAX;
+
+inline double ToSeconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+inline SimDuration FromSeconds(double s) {
+  if (s <= 0) return 0;
+  return static_cast<SimDuration>(s * static_cast<double>(kSecond));
+}
+
+// "12.345s" / "87ms" style rendering for traces and reports.
+std::string FormatSimTime(SimTime t);
+
+}  // namespace edgelet
+
+#endif  // EDGELET_COMMON_SIM_TIME_H_

@@ -1,0 +1,219 @@
+#include "core/framework.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "query/predicate.h"
+
+namespace edgelet::core {
+
+EdgeletFramework::EdgeletFramework(FrameworkConfig config)
+    : config_(std::move(config)) {}
+
+EdgeletFramework::~EdgeletFramework() = default;
+
+Status EdgeletFramework::Init() {
+  if (initialized_) return Status::FailedPrecondition("already initialized");
+  Rng seeds(config_.seed);
+
+  sim_ = std::make_unique<net::Simulator>(seeds.Fork(1).NextU64());
+  network_ = std::make_unique<net::Network>(sim_.get(), config_.network);
+  authority_ =
+      std::make_unique<tee::TrustAuthority>(seeds.Fork(2).NextU64());
+  authority_->set_expected_measurement(
+      crypto::Sha256::Hash(config_.fleet.code_identity));
+
+  fleet_ = std::make_unique<device::Fleet>(network_.get(), authority_.get(),
+                                           config_.fleet,
+                                           seeds.Fork(3).NextU64());
+
+  // The querier endpoint: an always-on machine at Santé Publique France.
+  device::DeviceProfile querier_profile = device::DeviceProfile::Pc();
+  querier_profile.churn = net::ChurnModel::AlwaysOn();
+  querier_device_ = std::make_unique<device::Device>(
+      network_.get(), authority_.get(), querier_profile,
+      config_.fleet.code_identity);
+  querier_node_ = querier_device_->id();
+  fleet_->RegisterExternal(querier_device_.get());
+  EDGELET_RETURN_NOT_OK(querier_device_->enclave().Provision());
+
+  config_.data.num_individuals = config_.fleet.num_contributors;
+  population_ = data::GenerateHealthData(config_.data,
+                                         seeds.Fork(4).NextU64());
+  EDGELET_RETURN_NOT_OK(fleet_->DistributeData(population_));
+  EDGELET_RETURN_NOT_OK(fleet_->ProvisionAll());
+  initialized_ = true;
+  return Status::OK();
+}
+
+Result<exec::Deployment> EdgeletFramework::Plan(
+    const query::Query& query, const PrivacyConfig& privacy,
+    const resilience::ResilienceConfig& resilience, exec::Strategy strategy) {
+  if (!initialized_) return Status::FailedPrecondition("call Init() first");
+  Planner planner(population_.schema());
+  Planner::Input input;
+  input.query = query;
+  input.privacy = privacy;
+  input.resilience = resilience;
+  input.strategy = strategy;
+  for (device::Device* dev : fleet_->processors()) {
+    input.processor_pool.push_back(dev->id());
+  }
+  input.querier = querier_node_;
+  input.num_contributors = fleet_->contributors().size();
+  input.seed = config_.seed;
+  return planner.Plan(input);
+}
+
+Result<exec::ExecutionReport> EdgeletFramework::Execute(
+    const exec::Deployment& deployment, const exec::ExecutionConfig& config) {
+  if (!initialized_) return Status::FailedPrecondition("call Init() first");
+  // Executions stay alive for the framework's lifetime: events scheduled
+  // past the deadline (stray heartbeats, delayed emissions) may still
+  // reference actor state if a later execution advances the clock.
+  executions_.push_back(std::make_unique<exec::QueryExecution>(
+      sim_.get(), network_.get(), fleet_.get(), deployment, config));
+  exec::QueryExecution& execution = *executions_.back();
+  EDGELET_RETURN_NOT_OK(execution.Start());
+  EDGELET_RETURN_NOT_OK(execution.RunToCompletion());
+  return execution.report();
+}
+
+Result<query::GroupingSetsResult> EdgeletFramework::CentralizedGroupingSets(
+    const query::Query& query,
+    const std::vector<uint64_t>& contributor_keys,
+    const std::vector<size_t>& set_indices) const {
+  if (query.kind != query::QueryKind::kGroupingSets) {
+    return Status::InvalidArgument("not a grouping-sets query");
+  }
+  std::set<uint64_t> keys(contributor_keys.begin(), contributor_keys.end());
+  auto id_idx = population_.schema().IndexOf(data::kContributorIdColumn);
+  if (!id_idx.ok()) return id_idx.status();
+  data::Table snapshot = population_.Filter([&](const data::Tuple& row) {
+    return keys.count(static_cast<uint64_t>(row[*id_idx].AsInt64())) > 0;
+  });
+  if (set_indices.empty()) {
+    return query::GroupingSetsResult::Compute(snapshot, query.grouping_sets);
+  }
+  return query::GroupingSetsResult::ComputeSets(snapshot,
+                                                query.grouping_sets,
+                                                set_indices);
+}
+
+Result<ml::Matrix> EdgeletFramework::QualifyingPoints(
+    const query::Query& query) const {
+  auto qualifying = query::ApplyPredicates(population_, query.predicates);
+  if (!qualifying.ok()) return qualifying.status();
+  return ml::ExtractPoints(*qualifying, query.kmeans.features);
+}
+
+Result<ml::KMeansKnowledge> EdgeletFramework::CentralizedKMeans(
+    const query::Query& query) const {
+  if (query.kind != query::QueryKind::kKMeans) {
+    return Status::InvalidArgument("not a K-Means query");
+  }
+  auto points = QualifyingPoints(query);
+  if (!points.ok()) return points.status();
+  ml::KMeansConfig config;
+  config.k = query.kmeans.k;
+  config.seed = query.query_id;
+  return ml::RunKMeans(*points, config);
+}
+
+Result<ValidityReport> EdgeletFramework::VerifyGroupingSets(
+    const exec::Deployment& deployment,
+    const exec::ExecutionReport& report) const {
+  const query::Query& query = deployment.query;
+  if (!report.success) {
+    ValidityReport out;
+    out.valid = false;
+    out.detail = "execution did not deliver a result";
+    return out;
+  }
+  if (report.snapshot_contributors_by_vgroup.size() !=
+      deployment.vgroup_set_indices.size()) {
+    return Status::InvalidArgument(
+        "report/deployment vertical-group count mismatch");
+  }
+  // Each vertical chain sampled its own rows; recompute its grouping sets
+  // centrally over exactly those rows, then stitch.
+  query::GroupingSetsResult acc;
+  for (size_t vg = 0; vg < deployment.vgroup_set_indices.size(); ++vg) {
+    auto partial = CentralizedGroupingSets(
+        query, report.snapshot_contributors_by_vgroup[vg],
+        deployment.vgroup_set_indices[vg]);
+    if (!partial.ok()) return partial.status();
+    EDGELET_RETURN_NOT_OK(acc.Merge(*partial));
+  }
+  auto central = acc.Finalize();
+  if (!central.ok()) return central.status();
+  // Sketch-based aggregates (QUANTILE) are insertion-order dependent:
+  // compare them with a relative tolerance instead of exact equality.
+  // (HyperLogLog COUNT DISTINCT is order independent and compares exact.)
+  std::vector<std::string> approximate;
+  for (const auto& a : query.grouping_sets.aggregates) {
+    if (a.fn == query::AggregateFunction::kQuantile) {
+      approximate.push_back(a.OutputName());
+    }
+  }
+  return CompareResultTables(report.result, *central, 1e-6, approximate);
+}
+
+ValidityReport CompareResultTables(
+    const data::Table& distributed, const data::Table& centralized,
+    double tolerance, const std::vector<std::string>& approximate_columns,
+    double approximate_tolerance) {
+  ValidityReport out;
+  if (!(distributed.schema() == centralized.schema())) {
+    out.detail = "schema mismatch: " + distributed.schema().ToString() +
+                 " vs " + centralized.schema().ToString();
+    return out;
+  }
+  if (distributed.num_rows() != centralized.num_rows()) {
+    out.detail = "row count mismatch: " +
+                 std::to_string(distributed.num_rows()) + " vs " +
+                 std::to_string(centralized.num_rows());
+    return out;
+  }
+  data::Table a = distributed;
+  data::Table b = centralized;
+  a.SortRows();
+  b.SortRows();
+  for (size_t i = 0; i < a.num_rows(); ++i) {
+    for (size_t c = 0; c < a.schema().num_columns(); ++c) {
+      const data::Value& va = a.row(i)[c];
+      const data::Value& vb = b.row(i)[c];
+      const std::string& column = a.schema().column(c).name;
+      bool approximate =
+          std::find(approximate_columns.begin(), approximate_columns.end(),
+                    column) != approximate_columns.end();
+      double column_tolerance = approximate ? approximate_tolerance
+                                            : tolerance;
+      if (va.type() == data::ValueType::kDouble &&
+          vb.type() == data::ValueType::kDouble) {
+        double err = std::abs(va.AsDouble() - vb.AsDouble());
+        double scale = std::max(1.0, std::abs(vb.AsDouble()));
+        if (!approximate) {
+          out.max_abs_error = std::max(out.max_abs_error, err);
+        }
+        if (err > column_tolerance * scale) {
+          out.detail = "numeric mismatch in row " + std::to_string(i) +
+                       ", column " + column;
+          return out;
+        }
+      } else if (!(va == vb)) {
+        out.detail = "value mismatch in row " + std::to_string(i) +
+                     ", column " + a.schema().column(c).name + ": '" +
+                     va.ToString() + "' vs '" + vb.ToString() + "'";
+        return out;
+      }
+    }
+  }
+  out.valid = true;
+  out.rows_compared = a.num_rows();
+  out.detail = "distributed result equals centralized reference";
+  return out;
+}
+
+}  // namespace edgelet::core

@@ -1,0 +1,122 @@
+#ifndef EDGELET_CORE_FRAMEWORK_H_
+#define EDGELET_CORE_FRAMEWORK_H_
+
+#include <memory>
+
+#include <vector>
+
+#include "core/planner.h"
+#include "data/generator.h"
+#include "device/fleet.h"
+#include "ml/metrics.h"
+
+namespace edgelet::core {
+
+struct FrameworkConfig {
+  device::FleetConfig fleet;
+  net::NetworkConfig network;
+  data::HealthDataParams data;
+  uint64_t seed = 1;
+
+  FrameworkConfig() {
+    // One individual per contributing device.
+    data.num_individuals = fleet.num_contributors;
+  }
+};
+
+// Verdict of comparing the distributed answer to a centralized execution
+// over the same snapshot (the demo's "run the processing centrally to
+// verify the results").
+struct ValidityReport {
+  bool valid = false;
+  size_t rows_compared = 0;
+  double max_abs_error = 0.0;
+  std::string detail;
+};
+
+// The Edgelet manager of the demo platform: owns the simulator, network,
+// trust authority, device fleet and population data; plans and executes
+// queries; verifies results against centralized references.
+class EdgeletFramework {
+ public:
+  explicit EdgeletFramework(FrameworkConfig config);
+  ~EdgeletFramework();
+
+  EdgeletFramework(const EdgeletFramework&) = delete;
+  EdgeletFramework& operator=(const EdgeletFramework&) = delete;
+
+  // Builds everything (devices, data, attestation). Must be called once
+  // before Plan/Execute.
+  Status Init();
+
+  net::Simulator* sim() { return sim_.get(); }
+  net::Network* network() { return network_.get(); }
+  device::Fleet* fleet() { return fleet_.get(); }
+  const data::Table& population() const { return population_; }
+  net::NodeId querier_node() const { return querier_node_; }
+
+  // Plans a query with this framework's fleet as the processor pool.
+  Result<exec::Deployment> Plan(const query::Query& query,
+                                const PrivacyConfig& privacy,
+                                const resilience::ResilienceConfig& resilience,
+                                exec::Strategy strategy);
+
+  // Runs a planned deployment on the simulator and returns the report.
+  Result<exec::ExecutionReport> Execute(const exec::Deployment& deployment,
+                                        const exec::ExecutionConfig& config);
+
+  // The most recent execution (alive for the framework's lifetime);
+  // exposes the ExecutionTrace when the run enabled tracing.
+  const exec::QueryExecution* last_execution() const {
+    return executions_.empty() ? nullptr : executions_.back().get();
+  }
+
+  // Centralized Grouping Sets over the rows of the given contributors,
+  // restricted to the given grouping-set indices (empty = all sets).
+  Result<query::GroupingSetsResult> CentralizedGroupingSets(
+      const query::Query& query,
+      const std::vector<uint64_t>& contributor_keys,
+      const std::vector<size_t>& set_indices) const;
+
+  // Centralized K-Means over every qualifying row (reference for accuracy
+  // metrics).
+  Result<ml::KMeansKnowledge> CentralizedKMeans(
+      const query::Query& query) const;
+
+  // Qualifying feature matrix for K-Means accuracy evaluation.
+  Result<ml::Matrix> QualifyingPoints(const query::Query& query) const;
+
+  // Compares a distributed Grouping Sets result to the centralized
+  // computation over the same per-vertical-group snapshots (Validity
+  // property; the demo's "run the processing centrally").
+  Result<ValidityReport> VerifyGroupingSets(
+      const exec::Deployment& deployment,
+      const exec::ExecutionReport& report) const;
+
+ private:
+  FrameworkConfig config_;
+  std::unique_ptr<net::Simulator> sim_;
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<tee::TrustAuthority> authority_;
+  std::unique_ptr<device::Fleet> fleet_;
+  std::unique_ptr<device::Device> querier_device_;
+  std::vector<std::unique_ptr<exec::QueryExecution>> executions_;
+  net::NodeId querier_node_ = 0;
+  data::Table population_;
+  bool initialized_ = false;
+};
+
+// Compares two finalized result tables cell by cell with a floating-point
+// tolerance; returns a filled ValidityReport. Columns listed in
+// `approximate_columns` (sketch-based aggregates, whose estimates are
+// insertion-order dependent) compare under `approximate_tolerance`
+// relative error instead of exact equality.
+ValidityReport CompareResultTables(
+    const data::Table& distributed, const data::Table& centralized,
+    double tolerance = 1e-6,
+    const std::vector<std::string>& approximate_columns = {},
+    double approximate_tolerance = 0.05);
+
+}  // namespace edgelet::core
+
+#endif  // EDGELET_CORE_FRAMEWORK_H_

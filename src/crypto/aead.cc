@@ -1,0 +1,73 @@
+#include "crypto/aead.h"
+
+#include <cstring>
+
+#include "crypto/sha256.h"
+
+namespace edgelet::crypto {
+
+namespace {
+
+Tag128 ComputeTag(const Key256& key, const Nonce96& nonce, const Bytes& aad,
+                  const Bytes& ciphertext) {
+  // One-time Poly1305 key = first 32 bytes of ChaCha20 block 0.
+  std::array<uint8_t, 64> block0 = ChaCha20Block(key, nonce, 0);
+  std::array<uint8_t, 32> otk;
+  std::memcpy(otk.data(), block0.data(), 32);
+
+  // mac_data = aad || pad16 || ct || pad16 || len(aad) || len(ct).
+  Bytes mac_data;
+  mac_data.reserve(aad.size() + ciphertext.size() + 32);
+  auto pad16 = [&mac_data]() {
+    while (mac_data.size() % 16 != 0) mac_data.push_back(0);
+  };
+  mac_data.insert(mac_data.end(), aad.begin(), aad.end());
+  pad16();
+  mac_data.insert(mac_data.end(), ciphertext.begin(), ciphertext.end());
+  pad16();
+  uint64_t lens[2] = {aad.size(), ciphertext.size()};
+  for (uint64_t v : lens) {
+    for (int i = 0; i < 8; ++i) {
+      mac_data.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+  return Poly1305Mac(otk, mac_data);
+}
+
+}  // namespace
+
+Bytes AeadSeal(const Key256& key, const Nonce96& nonce, const Bytes& aad,
+               const Bytes& plaintext) {
+  Bytes ciphertext = ChaCha20Xor(key, nonce, 1, plaintext);
+  Tag128 tag = ComputeTag(key, nonce, aad, ciphertext);
+  ciphertext.insert(ciphertext.end(), tag.begin(), tag.end());
+  return ciphertext;
+}
+
+Result<Bytes> AeadOpen(const Key256& key, const Nonce96& nonce,
+                       const Bytes& aad, const Bytes& sealed) {
+  if (sealed.size() < 16) {
+    return Status::Corruption("AEAD message shorter than tag");
+  }
+  Bytes ciphertext(sealed.begin(), sealed.end() - 16);
+  Tag128 expected = ComputeTag(key, nonce, aad, ciphertext);
+  const uint8_t* got = sealed.data() + sealed.size() - 16;
+  if (!ConstantTimeEquals(expected.data(), got, 16)) {
+    return Status::Corruption("AEAD tag mismatch");
+  }
+  return ChaCha20Xor(key, nonce, 1, ciphertext);
+}
+
+Nonce96 NonceFromSequence(uint64_t channel_id, uint64_t seq) {
+  Nonce96 nonce;
+  nonce[0] = static_cast<uint8_t>(channel_id);
+  nonce[1] = static_cast<uint8_t>(channel_id >> 8);
+  nonce[2] = static_cast<uint8_t>(channel_id >> 16);
+  nonce[3] = static_cast<uint8_t>(channel_id >> 24);
+  for (int i = 0; i < 8; ++i) {
+    nonce[4 + i] = static_cast<uint8_t>(seq >> (8 * i));
+  }
+  return nonce;
+}
+
+}  // namespace edgelet::crypto

@@ -1,0 +1,29 @@
+#ifndef EDGELET_CRYPTO_AEAD_H_
+#define EDGELET_CRYPTO_AEAD_H_
+
+#include "common/status.h"
+#include "crypto/chacha20.h"
+#include "crypto/poly1305.h"
+
+namespace edgelet::crypto {
+
+// ChaCha20-Poly1305 AEAD (RFC 8439 §2.8). All enclave-to-enclave traffic in
+// the Edgelet framework is sealed with this construction; the `aad` binds
+// the routing header so it cannot be swapped without detection.
+
+// Returns ciphertext || 16-byte tag.
+Bytes AeadSeal(const Key256& key, const Nonce96& nonce, const Bytes& aad,
+               const Bytes& plaintext);
+
+// Verifies the tag (constant time) and decrypts; fails with Corruption on
+// any mismatch.
+Result<Bytes> AeadOpen(const Key256& key, const Nonce96& nonce,
+                       const Bytes& aad, const Bytes& sealed);
+
+// Deterministic nonce from a message sequence number (per-channel keys make
+// this safe: each (key, seq) pair is used at most once).
+Nonce96 NonceFromSequence(uint64_t channel_id, uint64_t seq);
+
+}  // namespace edgelet::crypto
+
+#endif  // EDGELET_CRYPTO_AEAD_H_

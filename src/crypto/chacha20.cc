@@ -1,0 +1,82 @@
+#include "crypto/chacha20.h"
+
+#include <cstring>
+
+namespace edgelet::crypto {
+
+namespace {
+
+inline uint32_t Rotl32(uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+
+inline void QuarterRound(uint32_t& a, uint32_t& b, uint32_t& c, uint32_t& d) {
+  a += b;
+  d ^= a;
+  d = Rotl32(d, 16);
+  c += d;
+  b ^= c;
+  b = Rotl32(b, 12);
+  a += b;
+  d ^= a;
+  d = Rotl32(d, 8);
+  c += d;
+  b ^= c;
+  b = Rotl32(b, 7);
+}
+
+inline uint32_t LoadLe32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+inline void StoreLe32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+}  // namespace
+
+std::array<uint8_t, 64> ChaCha20Block(const Key256& key, const Nonce96& nonce,
+                                      uint32_t counter) {
+  uint32_t state[16];
+  // "expand 32-byte k"
+  state[0] = 0x61707865;
+  state[1] = 0x3320646e;
+  state[2] = 0x79622d32;
+  state[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state[4 + i] = LoadLe32(key.data() + 4 * i);
+  state[12] = counter;
+  for (int i = 0; i < 3; ++i) state[13 + i] = LoadLe32(nonce.data() + 4 * i);
+
+  uint32_t x[16];
+  std::memcpy(x, state, sizeof(x));
+  for (int round = 0; round < 10; ++round) {
+    QuarterRound(x[0], x[4], x[8], x[12]);
+    QuarterRound(x[1], x[5], x[9], x[13]);
+    QuarterRound(x[2], x[6], x[10], x[14]);
+    QuarterRound(x[3], x[7], x[11], x[15]);
+    QuarterRound(x[0], x[5], x[10], x[15]);
+    QuarterRound(x[1], x[6], x[11], x[12]);
+    QuarterRound(x[2], x[7], x[8], x[13]);
+    QuarterRound(x[3], x[4], x[9], x[14]);
+  }
+  std::array<uint8_t, 64> out;
+  for (int i = 0; i < 16; ++i) StoreLe32(out.data() + 4 * i, x[i] + state[i]);
+  return out;
+}
+
+Bytes ChaCha20Xor(const Key256& key, const Nonce96& nonce, uint32_t counter,
+                  const Bytes& input) {
+  Bytes out(input.size());
+  size_t offset = 0;
+  while (offset < input.size()) {
+    std::array<uint8_t, 64> ks = ChaCha20Block(key, nonce, counter++);
+    size_t take = std::min<size_t>(64, input.size() - offset);
+    for (size_t i = 0; i < take; ++i) out[offset + i] = input[offset + i] ^ ks[i];
+    offset += take;
+  }
+  return out;
+}
+
+}  // namespace edgelet::crypto

@@ -1,0 +1,27 @@
+#ifndef EDGELET_CRYPTO_CHACHA20_H_
+#define EDGELET_CRYPTO_CHACHA20_H_
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace edgelet::crypto {
+
+using Key256 = std::array<uint8_t, 32>;
+using Nonce96 = std::array<uint8_t, 12>;
+
+// ChaCha20 stream cipher (RFC 8439). Encryption and decryption are the same
+// XOR operation. `counter` is the initial block counter (1 for AEAD payload,
+// 0 for the Poly1305 one-time key block).
+Bytes ChaCha20Xor(const Key256& key, const Nonce96& nonce, uint32_t counter,
+                  const Bytes& input);
+
+// Raw 64-byte keystream block; exposed for Poly1305 key derivation and
+// for tests against the RFC 8439 vectors.
+std::array<uint8_t, 64> ChaCha20Block(const Key256& key, const Nonce96& nonce,
+                                      uint32_t counter);
+
+}  // namespace edgelet::crypto
+
+#endif  // EDGELET_CRYPTO_CHACHA20_H_

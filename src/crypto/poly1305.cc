@@ -1,0 +1,155 @@
+#include "crypto/poly1305.h"
+
+#include <cstring>
+
+namespace edgelet::crypto {
+
+namespace {
+
+inline uint32_t LoadLe32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+}  // namespace
+
+Tag128 Poly1305Mac(const std::array<uint8_t, 32>& key, const Bytes& message) {
+  // r with clamping (RFC 8439 §2.5.1), split into 26-bit limbs.
+  uint32_t t0 = LoadLe32(key.data() + 0);
+  uint32_t t1 = LoadLe32(key.data() + 4);
+  uint32_t t2 = LoadLe32(key.data() + 8);
+  uint32_t t3 = LoadLe32(key.data() + 12);
+
+  uint32_t r0 = t0 & 0x3ffffff;
+  uint32_t r1 = ((t0 >> 26) | (t1 << 6)) & 0x3ffff03;
+  uint32_t r2 = ((t1 >> 20) | (t2 << 12)) & 0x3ffc0ff;
+  uint32_t r3 = ((t2 >> 14) | (t3 << 18)) & 0x3f03fff;
+  uint32_t r4 = (t3 >> 8) & 0x00fffff;
+
+  uint32_t s1 = r1 * 5, s2 = r2 * 5, s3 = r3 * 5, s4 = r4 * 5;
+
+  uint32_t h0 = 0, h1 = 0, h2 = 0, h3 = 0, h4 = 0;
+
+  size_t len = message.size();
+  const uint8_t* m = message.data();
+  while (len > 0) {
+    uint8_t block[17] = {0};
+    size_t take = len < 16 ? len : 16;
+    std::memcpy(block, m, take);
+    block[take] = 1;  // the "add 2^n" bit
+
+    uint32_t b0 = LoadLe32(block + 0);
+    uint32_t b1 = LoadLe32(block + 4);
+    uint32_t b2 = LoadLe32(block + 8);
+    uint32_t b3 = LoadLe32(block + 12);
+    uint32_t b4 = block[16];
+
+    h0 += b0 & 0x3ffffff;
+    h1 += ((b0 >> 26) | (b1 << 6)) & 0x3ffffff;
+    h2 += ((b1 >> 20) | (b2 << 12)) & 0x3ffffff;
+    h3 += ((b2 >> 14) | (b3 << 18)) & 0x3ffffff;
+    h4 += (b3 >> 8) | (static_cast<uint32_t>(b4) << 24);
+
+    using u128 = unsigned __int128;
+    u128 d0 = (u128)h0 * r0 + (u128)h1 * s4 + (u128)h2 * s3 + (u128)h3 * s2 +
+              (u128)h4 * s1;
+    u128 d1 = (u128)h0 * r1 + (u128)h1 * r0 + (u128)h2 * s4 + (u128)h3 * s3 +
+              (u128)h4 * s2;
+    u128 d2 = (u128)h0 * r2 + (u128)h1 * r1 + (u128)h2 * r0 + (u128)h3 * s4 +
+              (u128)h4 * s3;
+    u128 d3 = (u128)h0 * r3 + (u128)h1 * r2 + (u128)h2 * r1 + (u128)h3 * r0 +
+              (u128)h4 * s4;
+    u128 d4 = (u128)h0 * r4 + (u128)h1 * r3 + (u128)h2 * r2 + (u128)h3 * r1 +
+              (u128)h4 * r0;
+
+    uint64_t c;
+    c = static_cast<uint64_t>(d0 >> 26);
+    h0 = static_cast<uint32_t>(d0) & 0x3ffffff;
+    d1 += c;
+    c = static_cast<uint64_t>(d1 >> 26);
+    h1 = static_cast<uint32_t>(d1) & 0x3ffffff;
+    d2 += c;
+    c = static_cast<uint64_t>(d2 >> 26);
+    h2 = static_cast<uint32_t>(d2) & 0x3ffffff;
+    d3 += c;
+    c = static_cast<uint64_t>(d3 >> 26);
+    h3 = static_cast<uint32_t>(d3) & 0x3ffffff;
+    d4 += c;
+    c = static_cast<uint64_t>(d4 >> 26);
+    h4 = static_cast<uint32_t>(d4) & 0x3ffffff;
+    h0 += static_cast<uint32_t>(c) * 5;
+    h1 += h0 >> 26;
+    h0 &= 0x3ffffff;
+
+    m += take;
+    len -= take;
+  }
+
+  // Full carry propagation.
+  uint32_t c;
+  c = h1 >> 26;
+  h1 &= 0x3ffffff;
+  h2 += c;
+  c = h2 >> 26;
+  h2 &= 0x3ffffff;
+  h3 += c;
+  c = h3 >> 26;
+  h3 &= 0x3ffffff;
+  h4 += c;
+  c = h4 >> 26;
+  h4 &= 0x3ffffff;
+  h0 += c * 5;
+  c = h0 >> 26;
+  h0 &= 0x3ffffff;
+  h1 += c;
+
+  // Compute h + -p and select.
+  uint32_t g0 = h0 + 5;
+  c = g0 >> 26;
+  g0 &= 0x3ffffff;
+  uint32_t g1 = h1 + c;
+  c = g1 >> 26;
+  g1 &= 0x3ffffff;
+  uint32_t g2 = h2 + c;
+  c = g2 >> 26;
+  g2 &= 0x3ffffff;
+  uint32_t g3 = h3 + c;
+  c = g3 >> 26;
+  g3 &= 0x3ffffff;
+  uint32_t g4 = h4 + c - (1u << 26);
+
+  uint32_t mask = (g4 >> 31) - 1;  // all-ones if h >= p
+  h0 = (h0 & ~mask) | (g0 & mask);
+  h1 = (h1 & ~mask) | (g1 & mask);
+  h2 = (h2 & ~mask) | (g2 & mask);
+  h3 = (h3 & ~mask) | (g3 & mask);
+  h4 = (h4 & ~mask) | (g4 & mask);
+
+  // Serialize h to 128 bits.
+  uint32_t f0 = h0 | (h1 << 26);
+  uint32_t f1 = (h1 >> 6) | (h2 << 20);
+  uint32_t f2 = (h2 >> 12) | (h3 << 14);
+  uint32_t f3 = (h3 >> 18) | (h4 << 8);
+
+  // Add s (second key half) mod 2^128.
+  uint64_t acc;
+  acc = static_cast<uint64_t>(f0) + LoadLe32(key.data() + 16);
+  f0 = static_cast<uint32_t>(acc);
+  acc = static_cast<uint64_t>(f1) + LoadLe32(key.data() + 20) + (acc >> 32);
+  f1 = static_cast<uint32_t>(acc);
+  acc = static_cast<uint64_t>(f2) + LoadLe32(key.data() + 24) + (acc >> 32);
+  f2 = static_cast<uint32_t>(acc);
+  acc = static_cast<uint64_t>(f3) + LoadLe32(key.data() + 28) + (acc >> 32);
+  f3 = static_cast<uint32_t>(acc);
+
+  Tag128 tag;
+  for (int i = 0; i < 4; ++i) {
+    tag[i] = static_cast<uint8_t>(f0 >> (8 * i));
+    tag[4 + i] = static_cast<uint8_t>(f1 >> (8 * i));
+    tag[8 + i] = static_cast<uint8_t>(f2 >> (8 * i));
+    tag[12 + i] = static_cast<uint8_t>(f3 >> (8 * i));
+  }
+  return tag;
+}
+
+}  // namespace edgelet::crypto

@@ -1,0 +1,18 @@
+#ifndef EDGELET_CRYPTO_POLY1305_H_
+#define EDGELET_CRYPTO_POLY1305_H_
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace edgelet::crypto {
+
+using Tag128 = std::array<uint8_t, 16>;
+
+// One-shot Poly1305 MAC (RFC 8439 §2.5) with a 32-byte one-time key.
+Tag128 Poly1305Mac(const std::array<uint8_t, 32>& key, const Bytes& message);
+
+}  // namespace edgelet::crypto
+
+#endif  // EDGELET_CRYPTO_POLY1305_H_

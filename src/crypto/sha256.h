@@ -1,0 +1,56 @@
+#ifndef EDGELET_CRYPTO_SHA256_H_
+#define EDGELET_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "common/bytes.h"
+
+namespace edgelet::crypto {
+
+using Digest256 = std::array<uint8_t, 32>;
+
+// Incremental SHA-256 (FIPS 180-4). Used for enclave measurements and as
+// the compression function under HMAC/HKDF.
+class Sha256 {
+ public:
+  Sha256() { Reset(); }
+
+  void Reset();
+  void Update(const void* data, size_t len);
+  void Update(const Bytes& b) { Update(b.data(), b.size()); }
+  void Update(std::string_view s) { Update(s.data(), s.size()); }
+
+  // Finalizes and returns the digest; the object must be Reset() before
+  // further use.
+  Digest256 Finish();
+
+  // One-shot convenience.
+  static Digest256 Hash(const void* data, size_t len);
+  static Digest256 Hash(const Bytes& b) { return Hash(b.data(), b.size()); }
+  static Digest256 Hash(std::string_view s) { return Hash(s.data(), s.size()); }
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t state_[8];
+  uint64_t bit_count_;
+  uint8_t buffer_[64];
+  size_t buffer_len_;
+};
+
+// HMAC-SHA256 (RFC 2104).
+Digest256 HmacSha256(const Bytes& key, const void* data, size_t len);
+Digest256 HmacSha256(const Bytes& key, const Bytes& data);
+
+// HKDF extract+expand (RFC 5869) with SHA-256; out_len <= 255*32.
+Bytes HkdfSha256(const Bytes& salt, const Bytes& ikm, const Bytes& info,
+                 size_t out_len);
+
+// Constant-time comparison; true iff equal.
+bool ConstantTimeEquals(const uint8_t* a, const uint8_t* b, size_t len);
+
+}  // namespace edgelet::crypto
+
+#endif  // EDGELET_CRYPTO_SHA256_H_

@@ -1,0 +1,173 @@
+#include "data/csv.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace edgelet::data {
+
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string QuoteField(const std::string& field) {
+  if (!NeedsQuoting(field)) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+// Splits one logical CSV record starting at *pos; advances *pos past the
+// record's trailing newline. Handles quoted fields with embedded newlines.
+Result<std::vector<std::string>> ParseRecord(const std::string& text,
+                                             size_t* pos) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  size_t i = *pos;
+  for (; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else if (c == '"') {
+      if (!field.empty()) {
+        return Status::Corruption("quote in unquoted CSV field");
+      }
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (c == '\n' || c == '\r') {
+      if (c == '\r' && i + 1 < text.size() && text[i + 1] == '\n') ++i;
+      ++i;
+      break;
+    } else {
+      field.push_back(c);
+    }
+  }
+  if (in_quotes) return Status::Corruption("unterminated quoted CSV field");
+  fields.push_back(std::move(field));
+  *pos = i;
+  return fields;
+}
+
+Result<Value> ParseField(const std::string& field, ValueType type) {
+  if (field.empty()) return Value::Null();
+  switch (type) {
+    case ValueType::kInt64: {
+      errno = 0;
+      char* end = nullptr;
+      long long v = std::strtoll(field.c_str(), &end, 10);
+      if (errno != 0 || end == field.c_str() || *end != '\0') {
+        return Status::Corruption("bad INT64 field: '" + field + "'");
+      }
+      return Value(static_cast<int64_t>(v));
+    }
+    case ValueType::kDouble: {
+      errno = 0;
+      char* end = nullptr;
+      double v = std::strtod(field.c_str(), &end);
+      if (errno != 0 || end == field.c_str() || *end != '\0') {
+        return Status::Corruption("bad DOUBLE field: '" + field + "'");
+      }
+      return Value(v);
+    }
+    case ValueType::kString:
+      return Value(field);
+    case ValueType::kNull:
+      return Value::Null();
+  }
+  return Status::Corruption("bad field type");
+}
+
+}  // namespace
+
+std::string TableToCsv(const Table& table) {
+  std::string out;
+  const Schema& schema = table.schema();
+  for (size_t i = 0; i < schema.num_columns(); ++i) {
+    if (i > 0) out += ",";
+    out += QuoteField(schema.column(i).name);
+  }
+  out += "\n";
+  for (const auto& row : table.rows()) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ",";
+      out += QuoteField(row[i].ToString());
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Result<Table> TableFromCsv(const std::string& csv, const Schema& schema) {
+  size_t pos = 0;
+  auto header = ParseRecord(csv, &pos);
+  if (!header.ok()) return header.status();
+  if (header->size() != schema.num_columns()) {
+    return Status::Corruption("CSV header arity mismatch");
+  }
+  for (size_t i = 0; i < header->size(); ++i) {
+    if ((*header)[i] != schema.column(i).name) {
+      return Status::Corruption("CSV header column '" + (*header)[i] +
+                                "' != schema column '" +
+                                schema.column(i).name + "'");
+    }
+  }
+  Table out(schema);
+  while (pos < csv.size()) {
+    // Skip blank trailing lines.
+    if (csv[pos] == '\n' || csv[pos] == '\r') {
+      ++pos;
+      continue;
+    }
+    auto fields = ParseRecord(csv, &pos);
+    if (!fields.ok()) return fields.status();
+    if (fields->size() != schema.num_columns()) {
+      return Status::Corruption("CSV record arity mismatch");
+    }
+    Tuple row;
+    row.reserve(fields->size());
+    for (size_t i = 0; i < fields->size(); ++i) {
+      auto v = ParseField((*fields)[i], schema.column(i).type);
+      if (!v.ok()) return v.status();
+      row.push_back(std::move(*v));
+    }
+    out.AppendUnchecked(std::move(row));
+  }
+  return out;
+}
+
+Status WriteCsvFile(const std::string& path, const Table& table) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return Status::Internal("cannot open for write: " + path);
+  f << TableToCsv(table);
+  if (!f) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Table> ReadCsvFile(const std::string& path, const Schema& schema) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return Status::NotFound("cannot open: " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return TableFromCsv(ss.str(), schema);
+}
+
+}  // namespace edgelet::data

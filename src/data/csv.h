@@ -1,0 +1,25 @@
+#ifndef EDGELET_DATA_CSV_H_
+#define EDGELET_DATA_CSV_H_
+
+#include <string>
+
+#include "data/table.h"
+
+namespace edgelet::data {
+
+// Renders a table as RFC-4180-ish CSV with a header row; fields containing
+// commas, quotes, or newlines are quoted.
+std::string TableToCsv(const Table& table);
+
+// Parses CSV text against the given schema (header row required and checked
+// against the schema's column names). Empty fields become NULL; INT64 and
+// DOUBLE fields are parsed strictly.
+Result<Table> TableFromCsv(const std::string& csv, const Schema& schema);
+
+// Convenience file helpers.
+Status WriteCsvFile(const std::string& path, const Table& table);
+Result<Table> ReadCsvFile(const std::string& path, const Schema& schema);
+
+}  // namespace edgelet::data
+
+#endif  // EDGELET_DATA_CSV_H_

@@ -1,0 +1,105 @@
+#include "data/generator.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace edgelet::data {
+
+namespace {
+
+// Latent health profiles. Means chosen so profiles are separable but
+// overlapping, like real clinical subpopulations.
+struct Profile {
+  double age_mean, age_sd;
+  double bmi_mean, bmi_sd;
+  double bp_mean, bp_sd;
+  double chronic_mean;
+  double dependency_mean;  // 1 (heavy dependency) .. 6 (autonomous)
+};
+
+constexpr std::array<Profile, 6> kProfiles = {{
+    // robust elderly
+    {68, 4, 24.0, 2.5, 125, 8, 0.8, 5.4},
+    // hypertensive / overweight
+    {74, 5, 29.5, 3.0, 152, 10, 2.2, 4.2},
+    // frail, multi-morbid
+    {85, 5, 22.0, 2.8, 138, 12, 4.5, 2.0},
+    // diabetic-profile
+    {71, 6, 31.5, 3.5, 142, 9, 3.1, 3.6},
+    // very old, low BMI, dependent
+    {90, 4, 20.5, 2.0, 130, 10, 3.8, 1.6},
+    // active young-elderly
+    {64, 3, 25.5, 2.2, 122, 7, 0.4, 5.8},
+}};
+
+constexpr std::array<const char*, 6> kRegions = {
+    "Versailles", "Rambouillet", "Mantes",
+    "Saint-Germain", "Poissy", "Trappes"};
+
+int64_t ClampInt(double v, int64_t lo, int64_t hi) {
+  int64_t i = static_cast<int64_t>(std::llround(v));
+  return std::clamp(i, lo, hi);
+}
+
+}  // namespace
+
+Schema HealthSchema() {
+  return Schema({
+      {"contributor_id", ValueType::kInt64},
+      {"age", ValueType::kInt64},
+      {"sex", ValueType::kString},
+      {"region", ValueType::kString},
+      {"bmi", ValueType::kDouble},
+      {"systolic_bp", ValueType::kDouble},
+      {"chronic_count", ValueType::kInt64},
+      {"dependency", ValueType::kInt64},
+      {"latent_profile", ValueType::kInt64},
+  });
+}
+
+std::vector<std::string> HealthNumericFeatures() {
+  return {"age", "bmi", "systolic_bp", "chronic_count"};
+}
+
+Table GenerateHealthData(const HealthDataParams& params, uint64_t seed) {
+  Rng rng(seed);
+  int num_profiles =
+      std::clamp<int>(params.num_profiles, 1, kProfiles.size());
+
+  Table table(HealthSchema());
+  table.Reserve(params.num_individuals);
+  for (uint64_t i = 0; i < params.num_individuals; ++i) {
+    int p = static_cast<int>(rng.NextBelow(num_profiles));
+    const Profile& prof = kProfiles[p];
+
+    int64_t age = ClampInt(rng.NextGaussian(prof.age_mean, prof.age_sd),
+                           params.min_age, params.max_age);
+    double bmi = std::clamp(rng.NextGaussian(prof.bmi_mean, prof.bmi_sd),
+                            14.0, 45.0);
+    double bp = std::clamp(rng.NextGaussian(prof.bp_mean, prof.bp_sd),
+                           90.0, 210.0);
+    int64_t chronic =
+        ClampInt(prof.chronic_mean + rng.NextGaussian() * 1.0, 0, 9);
+    // Dependency correlates with profile mean, with mild noise.
+    int64_t dependency =
+        ClampInt(prof.dependency_mean + rng.NextGaussian() * 0.6, 1, 6);
+
+    Tuple row;
+    row.reserve(9);
+    row.emplace_back(static_cast<int64_t>(i + 1));
+    row.emplace_back(age);
+    row.emplace_back(std::string(rng.NextBernoulli(0.62) ? "F" : "M"));
+    row.emplace_back(
+        std::string(kRegions[rng.NextBelow(kRegions.size())]));
+    row.emplace_back(bmi);
+    row.emplace_back(bp);
+    row.emplace_back(chronic);
+    row.emplace_back(dependency);
+    row.emplace_back(static_cast<int64_t>(p));
+    table.AppendUnchecked(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace edgelet::data

@@ -1,0 +1,142 @@
+#include "data/table.h"
+
+#include <algorithm>
+
+namespace edgelet::data {
+
+Status Table::Append(Tuple row) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " != schema arity " +
+        std::to_string(schema_.num_columns()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (!row[i].is_null() && row[i].type() != schema_.column(i).type) {
+      return Status::InvalidArgument(
+          "type mismatch in column '" + schema_.column(i).name + "': got " +
+          std::string(ValueTypeToString(row[i].type())) + ", want " +
+          std::string(ValueTypeToString(schema_.column(i).type)));
+    }
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Result<Value> Table::At(size_t row_index, std::string_view column) const {
+  if (row_index >= rows_.size()) {
+    return Status::OutOfRange("row index " + std::to_string(row_index));
+  }
+  auto idx = schema_.IndexOf(column);
+  if (!idx.ok()) return idx.status();
+  return rows_[row_index][*idx];
+}
+
+Result<Table> Table::Project(const std::vector<std::string>& columns) const {
+  auto sub_schema = schema_.Project(columns);
+  if (!sub_schema.ok()) return sub_schema.status();
+  std::vector<size_t> indices;
+  indices.reserve(columns.size());
+  for (const auto& c : columns) {
+    auto idx = schema_.IndexOf(c);
+    if (!idx.ok()) return idx.status();
+    indices.push_back(*idx);
+  }
+  Table out(std::move(*sub_schema));
+  out.Reserve(rows_.size());
+  for (const auto& r : rows_) {
+    Tuple t;
+    t.reserve(indices.size());
+    for (size_t i : indices) t.push_back(r[i]);
+    out.AppendUnchecked(std::move(t));
+  }
+  return out;
+}
+
+Table Table::Filter(const std::function<bool(const Tuple&)>& pred) const {
+  Table out(schema_);
+  for (const auto& r : rows_) {
+    if (pred(r)) out.AppendUnchecked(r);
+  }
+  return out;
+}
+
+Status Table::Concat(const Table& other) {
+  if (!(schema_ == other.schema_)) {
+    return Status::InvalidArgument("cannot concat tables: schema mismatch " +
+                                   schema_.ToString() + " vs " +
+                                   other.schema_.ToString());
+  }
+  rows_.insert(rows_.end(), other.rows_.begin(), other.rows_.end());
+  return Status::OK();
+}
+
+void Table::SortRows() {
+  std::sort(rows_.begin(), rows_.end(), [](const Tuple& a, const Tuple& b) {
+    for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+      if (a[i] < b[i]) return true;
+      if (b[i] < a[i]) return false;
+    }
+    return a.size() < b.size();
+  });
+}
+
+Result<std::vector<double>> Table::NumericColumn(
+    std::string_view column) const {
+  auto idx = schema_.IndexOf(column);
+  if (!idx.ok()) return idx.status();
+  std::vector<double> out;
+  out.reserve(rows_.size());
+  for (const auto& r : rows_) {
+    auto d = r[*idx].ToDouble();
+    if (!d.ok()) return d.status();
+    out.push_back(*d);
+  }
+  return out;
+}
+
+void Table::Serialize(Writer* w) const {
+  schema_.Serialize(w);
+  w->PutVarint(rows_.size());
+  for (const auto& r : rows_) {
+    for (const auto& v : r) v.Serialize(w);
+  }
+}
+
+Result<Table> Table::Deserialize(Reader* r) {
+  auto schema = Schema::Deserialize(r);
+  if (!schema.ok()) return schema.status();
+  auto n = r->GetVarint();
+  if (!n.ok()) return n.status();
+  Table out(std::move(*schema));
+  out.Reserve(*n);
+  const size_t arity = out.schema().num_columns();
+  for (uint64_t i = 0; i < *n; ++i) {
+    Tuple t;
+    t.reserve(arity);
+    for (size_t c = 0; c < arity; ++c) {
+      auto v = Value::Deserialize(r);
+      if (!v.ok()) return v.status();
+      t.push_back(std::move(*v));
+    }
+    out.AppendUnchecked(std::move(t));
+  }
+  return out;
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::string out = schema_.ToString() + "\n";
+  size_t shown = std::min(max_rows, rows_.size());
+  for (size_t i = 0; i < shown; ++i) {
+    for (size_t c = 0; c < rows_[i].size(); ++c) {
+      if (c > 0) out += " | ";
+      out += rows_[i][c].ToString();
+    }
+    out += "\n";
+  }
+  if (shown < rows_.size()) {
+    out += "... (" + std::to_string(rows_.size() - shown) + " more rows)\n";
+  }
+  return out;
+}
+
+}  // namespace edgelet::data

@@ -1,0 +1,94 @@
+#include "device/device.h"
+
+namespace edgelet::device {
+
+std::string_view DeviceClassName(DeviceClass cls) {
+  switch (cls) {
+    case DeviceClass::kPcSgx:
+      return "PC/SGX";
+    case DeviceClass::kSmartphoneTrustZone:
+      return "Smartphone/TrustZone";
+    case DeviceClass::kHomeBoxTpm:
+      return "HomeBox/TPM";
+  }
+  return "?";
+}
+
+DeviceProfile DeviceProfile::Pc() {
+  DeviceProfile p;
+  p.cls = DeviceClass::kPcSgx;
+  p.compute_factor = 1.0;
+  // Plugged in, occasionally suspended.
+  p.churn = net::ChurnModel::Intermittent(4 * kHour, 10 * kMinute);
+  return p;
+}
+
+DeviceProfile DeviceProfile::Smartphone() {
+  DeviceProfile p;
+  p.cls = DeviceClass::kSmartphoneTrustZone;
+  p.compute_factor = 3.0;
+  // Coverage gaps and user mobility.
+  p.churn = net::ChurnModel::Intermittent(20 * kMinute, 5 * kMinute);
+  return p;
+}
+
+DeviceProfile DeviceProfile::HomeBox() {
+  DeviceProfile p;
+  p.cls = DeviceClass::kHomeBoxTpm;
+  // STM32F417 @168MHz vs laptop-class CPU.
+  p.compute_factor = 60.0;
+  // Always powered; connected opportunistically (caregiver visits in the
+  // DomYcile deployment) — modelled as long offline stretches with contact
+  // windows.
+  p.churn = net::ChurnModel::Intermittent(10 * kMinute, 40 * kMinute);
+  return p;
+}
+
+Device::Device(net::Network* network, const tee::TrustAuthority* authority,
+               DeviceProfile profile, const std::string& code_identity)
+    : network_(network), profile_(profile) {
+  id_ = network_->Register(this, profile_.churn);
+  enclave_ = std::make_unique<tee::Enclave>(id_, code_identity, authority);
+}
+
+SimDuration Device::ComputeCost(uint64_t tuples) const {
+  double cost = static_cast<double>(tuples) *
+                static_cast<double>(kPerTupleCost) * profile_.compute_factor;
+  return static_cast<SimDuration>(cost);
+}
+
+Status Device::SendSealed(net::NodeId to, uint32_t type,
+                          const Bytes& plaintext) {
+  net::Message msg;
+  msg.from = id_;
+  msg.to = to;
+  msg.type = type;
+  msg.seq = next_seq_++;
+  auto sealed =
+      enclave_->SealFor(to, msg.seq, net::MessageAad(msg), plaintext);
+  if (!sealed.ok()) return sealed.status();
+  msg.payload = std::move(*sealed);
+  network_->Send(std::move(msg));
+  return Status::OK();
+}
+
+void Device::SendControl(net::NodeId to, uint32_t type, const Bytes& payload) {
+  net::Message msg;
+  msg.from = id_;
+  msg.to = to;
+  msg.type = type;
+  msg.seq = next_seq_++;
+  msg.payload = payload;
+  network_->Send(std::move(msg));
+}
+
+Result<Bytes> Device::OpenPayload(const net::Message& msg) {
+  return enclave_->OpenFrom(msg.from, msg.seq, net::MessageAad(msg),
+                            msg.payload);
+}
+
+void Device::OnMessage(const net::Message& msg) {
+  if (handler_) handler_(msg);
+}
+
+}  // namespace edgelet::device

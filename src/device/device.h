@@ -1,0 +1,101 @@
+#ifndef EDGELET_DEVICE_DEVICE_H_
+#define EDGELET_DEVICE_DEVICE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "data/table.h"
+#include "net/network.h"
+#include "tee/enclave.h"
+
+namespace edgelet::device {
+
+// The three TEE-enabled device classes of the demo platform (paper §3.1 and
+// Figure 1): an SGX laptop, a TrustZone smartphone, and the DomYcile
+// STM32F417+TPM home box.
+enum class DeviceClass : uint8_t {
+  kPcSgx = 0,
+  kSmartphoneTrustZone = 1,
+  kHomeBoxTpm = 2,
+};
+
+std::string_view DeviceClassName(DeviceClass cls);
+
+struct DeviceProfile {
+  DeviceClass cls = DeviceClass::kPcSgx;
+  // Multiplier on processing time relative to the PC (i5-9400H = 1.0; the
+  // STM32F417 microcontroller is orders of magnitude slower).
+  double compute_factor = 1.0;
+  // Availability pattern.
+  net::ChurnModel churn = net::ChurnModel::AlwaysOn();
+
+  // Calibrated presets. The home box is always on (plugged in) but slow;
+  // the smartphone is fast but churns; the PC is fast and mostly on.
+  static DeviceProfile Pc();
+  static DeviceProfile Smartphone();
+  static DeviceProfile HomeBox();
+};
+
+// A personal device participating in Edgelet computations: a network node
+// hosting a TEE enclave and the owner's local data. Execution actors
+// (exec/) attach a message handler to drive the device's protocol role.
+class Device : public net::Node {
+ public:
+  // Registers with `network` immediately; the node id doubles as the
+  // enclave id.
+  Device(net::Network* network, const tee::TrustAuthority* authority,
+         DeviceProfile profile, const std::string& code_identity);
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  net::NodeId id() const { return id_; }
+  const DeviceProfile& profile() const { return profile_; }
+  tee::Enclave& enclave() { return *enclave_; }
+  net::Network* network() { return network_; }
+
+  // Simulated processing time for touching `tuples` tuples on this device.
+  SimDuration ComputeCost(uint64_t tuples) const;
+
+  void SetLocalData(data::Table table) { local_data_ = std::move(table); }
+  const data::Table& local_data() const { return local_data_; }
+
+  // Exactly one actor owns the device during an execution.
+  using MessageHandler = std::function<void(const net::Message&)>;
+  void set_message_handler(MessageHandler handler) {
+    handler_ = std::move(handler);
+  }
+
+  // Seals `plaintext` for the destination enclave and sends it. The wire
+  // header is the AEAD associated data, so tampering with routing breaks
+  // authentication.
+  Status SendSealed(net::NodeId to, uint32_t type, const Bytes& plaintext);
+  // Sends an unsealed control message (liveness pings etc. — no payload
+  // confidentiality needed).
+  void SendControl(net::NodeId to, uint32_t type, const Bytes& payload);
+
+  // Opens a sealed payload received from msg.from.
+  Result<Bytes> OpenPayload(const net::Message& msg);
+
+  // net::Node:
+  void OnMessage(const net::Message& msg) override;
+  void OnOnline() override {}
+  void OnOffline() override {}
+
+ private:
+  net::Network* network_;
+  DeviceProfile profile_;
+  net::NodeId id_;
+  std::unique_ptr<tee::Enclave> enclave_;
+  data::Table local_data_;
+  MessageHandler handler_;
+  uint64_t next_seq_ = 0;
+};
+
+// Base per-tuple processing time on the reference PC.
+constexpr SimDuration kPerTupleCost = 20 * kMicrosecond;
+
+}  // namespace edgelet::device
+
+#endif  // EDGELET_DEVICE_DEVICE_H_

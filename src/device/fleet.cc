@@ -1,0 +1,87 @@
+#include "device/fleet.h"
+
+namespace edgelet::device {
+
+Fleet::Fleet(net::Network* network, const tee::TrustAuthority* authority,
+             const FleetConfig& config, uint64_t seed)
+    : enable_churn_(config.enable_churn) {
+  Rng rng(seed);
+  auto make = [&](const DeviceMix& mix) {
+    DeviceProfile profile = SampleProfile(mix, &rng);
+    if (!enable_churn_) profile.churn = net::ChurnModel::AlwaysOn();
+    auto dev = std::make_unique<Device>(network, authority, profile,
+                                        config.code_identity);
+    Device* raw = dev.get();
+    devices_.push_back(std::move(dev));
+    by_node_.emplace(raw->id(), raw);
+    return raw;
+  };
+  contributors_.reserve(config.num_contributors);
+  for (size_t i = 0; i < config.num_contributors; ++i) {
+    contributors_.push_back(make(config.contributor_mix));
+  }
+  processors_.reserve(config.num_processors);
+  for (size_t i = 0; i < config.num_processors; ++i) {
+    processors_.push_back(make(config.processor_mix));
+  }
+}
+
+DeviceProfile Fleet::SampleProfile(const DeviceMix& mix, Rng* rng) const {
+  double total = mix.pc + mix.smartphone + mix.home_box;
+  if (total <= 0) return DeviceProfile::Pc();
+  double pick = rng->NextDouble() * total;
+  if (pick < mix.pc) return DeviceProfile::Pc();
+  if (pick < mix.pc + mix.smartphone) return DeviceProfile::Smartphone();
+  return DeviceProfile::HomeBox();
+}
+
+Device* Fleet::by_node(net::NodeId id) const {
+  auto it = by_node_.find(id);
+  return it == by_node_.end() ? nullptr : it->second;
+}
+
+Status Fleet::DistributeData(const data::Table& table) {
+  if (table.num_rows() != contributors_.size()) {
+    return Status::InvalidArgument(
+        "row count " + std::to_string(table.num_rows()) +
+        " != contributor count " + std::to_string(contributors_.size()));
+  }
+  for (size_t i = 0; i < contributors_.size(); ++i) {
+    data::Table one(table.schema());
+    one.AppendUnchecked(table.row(i));
+    contributors_[i]->SetLocalData(std::move(one));
+  }
+  return Status::OK();
+}
+
+Status Fleet::ProvisionAll() {
+  for (const auto& dev : devices_) {
+    EDGELET_RETURN_NOT_OK(dev->enclave().Provision());
+  }
+  return Status::OK();
+}
+
+FailurePlan PlanFailures(const std::vector<net::NodeId>& targets,
+                         double failure_probability, SimTime window_start,
+                         SimTime window_end, Rng* rng) {
+  FailurePlan plan;
+  if (window_end < window_start) window_end = window_start;
+  for (net::NodeId id : targets) {
+    if (!rng->NextBernoulli(failure_probability)) continue;
+    SimTime t = window_start;
+    if (window_end > window_start) {
+      t += rng->NextBelow(window_end - window_start);
+    }
+    plan.kills.emplace_back(id, t);
+  }
+  return plan;
+}
+
+void ScheduleFailures(net::Network* network, const FailurePlan& plan) {
+  for (const auto& [id, when] : plan.kills) {
+    network->simulator()->ScheduleAt(
+        when, [network, id = id]() { network->Kill(id); });
+  }
+}
+
+}  // namespace edgelet::device

@@ -1,0 +1,83 @@
+#ifndef EDGELET_DEVICE_FLEET_H_
+#define EDGELET_DEVICE_FLEET_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "device/device.h"
+
+namespace edgelet::device {
+
+// Mix of device classes in a fleet (fractions normalized internally).
+struct DeviceMix {
+  double pc = 0.3;
+  double smartphone = 0.4;
+  double home_box = 0.3;
+};
+
+struct FleetConfig {
+  size_t num_contributors = 100;
+  size_t num_processors = 32;
+  DeviceMix contributor_mix;
+  DeviceMix processor_mix;
+  // When false, devices never churn on their own (useful for isolating
+  // crash-failure experiments from disconnections).
+  bool enable_churn = true;
+  std::string code_identity = "edgelet-runtime-v1";
+};
+
+// Owns the personal devices of one experiment: Data Contributors (each
+// holding one individual's record) and the Data Processor pool from which
+// the planner draws operator hosts.
+class Fleet {
+ public:
+  Fleet(net::Network* network, const tee::TrustAuthority* authority,
+        const FleetConfig& config, uint64_t seed);
+
+  const std::vector<Device*>& contributors() const { return contributors_; }
+  const std::vector<Device*>& processors() const { return processors_; }
+  Device* by_node(net::NodeId id) const;
+  size_t size() const { return devices_.size(); }
+
+  // Makes an externally-owned device (e.g. the querier endpoint)
+  // resolvable through by_node(). The fleet does not take ownership.
+  void RegisterExternal(Device* device) {
+    by_node_.emplace(device->id(), device);
+  }
+
+  // Loads one table row per contributor (row i -> contributor i). The row
+  // count must equal num_contributors.
+  Status DistributeData(const data::Table& table);
+
+  // Provisions every enclave with the query-group key (models remote
+  // attestation of the published query code).
+  Status ProvisionAll();
+
+ private:
+  DeviceProfile SampleProfile(const DeviceMix& mix, Rng* rng) const;
+
+  std::vector<std::unique_ptr<Device>> devices_;
+  std::vector<Device*> contributors_;
+  std::vector<Device*> processors_;
+  std::unordered_map<net::NodeId, Device*> by_node_;
+  bool enable_churn_;
+};
+
+// Crash-failure plan: each target dies at a uniform time inside the window
+// with probability `failure_probability`. Deterministic for a given rng.
+struct FailurePlan {
+  std::vector<std::pair<net::NodeId, SimTime>> kills;
+};
+
+FailurePlan PlanFailures(const std::vector<net::NodeId>& targets,
+                         double failure_probability, SimTime window_start,
+                         SimTime window_end, Rng* rng);
+
+// Schedules the kills on the simulator.
+void ScheduleFailures(net::Network* network, const FailurePlan& plan);
+
+}  // namespace edgelet::device
+
+#endif  // EDGELET_DEVICE_FLEET_H_

@@ -1,0 +1,78 @@
+#include "exec/actor.h"
+
+#include "common/logging.h"
+#include "data/partition.h"
+
+namespace edgelet::exec {
+
+ContributorActor::ContributorActor(net::Simulator* sim, device::Device* dev,
+                                   Config config)
+    : ActorBase(sim, dev), config_(std::move(config)) {}
+
+void ContributorActor::Start() {
+  sim()->ScheduleAt(config_.send_at, [this]() { Contribute(); });
+}
+
+void ContributorActor::Contribute() {
+  const data::Table& local = dev()->local_data();
+  if (local.empty()) return;
+
+  auto qualified = query::ApplyPredicates(local, config_.predicates);
+  if (!qualified.ok()) {
+    EDGELET_LOG(kWarning) << "contributor " << dev()->id()
+                          << " predicate error: "
+                          << qualified.status().ToString();
+    return;
+  }
+  if (qualified->empty()) return;  // the owner's data does not qualify
+
+  uint32_t partition = data::PartitionForKey(
+      config_.contributor_key, static_cast<uint32_t>(config_.builders.size()));
+  for (size_t vg = 0; vg < config_.vgroup_columns.size(); ++vg) {
+    auto projected = qualified->Project(config_.vgroup_columns[vg]);
+    if (!projected.ok()) {
+      EDGELET_LOG(kWarning) << "contributor " << dev()->id()
+                            << " projection error: "
+                            << projected.status().ToString();
+      return;
+    }
+    ContributionMsg msg;
+    msg.query_id = config_.query_id;
+    msg.contributor_key = config_.contributor_key;
+    msg.rows = std::move(*projected);
+    SealAndSendAll(config_.builders[partition][vg], kContribution,
+                   msg.Encode());
+  }
+  contributed_ = true;
+  if (config_.trace != nullptr) {
+    config_.trace->Record(sim()->now(), TraceEventKind::kContributionSent,
+                          dev()->id());
+  }
+}
+
+void QuerierActor::HandleMessage(const net::Message& msg) {
+  if (msg.type != kFinalResult) return;
+  auto payload = dev()->OpenPayload(msg);
+  if (!payload.ok()) {
+    EDGELET_LOG(kWarning) << "querier failed to open result: "
+                          << payload.status().ToString();
+    return;
+  }
+  auto result = FinalResultMsg::Decode(*payload);
+  if (!result.ok() || result->query_id != query_id_) return;
+  if (has_result_) {
+    ++duplicates_;
+    return;
+  }
+  has_result_ = true;
+  result_ = std::move(*result);
+  result_time_ = sim()->now();
+  if (trace_ != nullptr) {
+    trace_->Record(sim()->now(), TraceEventKind::kResultDelivered,
+                   dev()->id(), -1, -1,
+                   std::to_string(result_.partitions.size()) +
+                       " partitions merged");
+  }
+}
+
+}  // namespace edgelet::exec

@@ -1,0 +1,109 @@
+#ifndef EDGELET_EXEC_ACTOR_H_
+#define EDGELET_EXEC_ACTOR_H_
+
+#include <vector>
+
+#include "device/device.h"
+#include "exec/protocol.h"
+#include "exec/trace.h"
+#include "net/simulator.h"
+#include "query/query.h"
+
+namespace edgelet::exec {
+
+// One protocol role bound to one device for the duration of a query.
+class ActorBase {
+ public:
+  ActorBase(net::Simulator* sim, device::Device* dev) : sim_(sim), dev_(dev) {
+    dev_->set_message_handler(
+        [this](const net::Message& msg) { HandleMessage(msg); });
+  }
+  virtual ~ActorBase() = default;
+
+  ActorBase(const ActorBase&) = delete;
+  ActorBase& operator=(const ActorBase&) = delete;
+
+  device::Device* dev() const { return dev_; }
+  net::Simulator* sim() const { return sim_; }
+
+ protected:
+  virtual void HandleMessage(const net::Message& msg) = 0;
+
+  // Seals and sends; enclave errors (unprovisioned, etc.) are dropped like
+  // a lost message — uncertain communications subsume them.
+  void SealAndSend(net::NodeId to, uint32_t type, const Bytes& payload) {
+    (void)dev_->SendSealed(to, type, payload);
+  }
+  void SealAndSendAll(const std::vector<net::NodeId>& targets, uint32_t type,
+                      const Bytes& payload) {
+    for (net::NodeId to : targets) SealAndSend(to, type, payload);
+  }
+
+ private:
+  net::Simulator* sim_;
+  device::Device* dev_;
+};
+
+// A Data Contributor: at its scheduled contact time, evaluates the query
+// predicates on its local record inside the enclave and sends qualifying
+// rows (projected to the required columns) to every replica of its hash-
+// assigned Snapshot Builder.
+class ContributorActor : public ActorBase {
+ public:
+  struct Config {
+    uint64_t query_id = 0;
+    uint64_t contributor_key = 0;
+    std::vector<query::Predicate> predicates;
+    // One projection per vertical group: the contributor splits its record
+    // so a separated attribute pair never travels together.
+    std::vector<std::vector<std::string>> vgroup_columns;
+    // builders[partition][vgroup] = rank-ordered replica group.
+    std::vector<std::vector<std::vector<net::NodeId>>> builders;
+    SimTime send_at = 0;
+    ExecutionTrace* trace = nullptr;  // optional step-by-step recording
+  };
+
+  ContributorActor(net::Simulator* sim, device::Device* dev, Config config);
+
+  void Start();
+
+  bool contributed() const { return contributed_; }
+
+ protected:
+  void HandleMessage(const net::Message& msg) override { (void)msg; }
+
+ private:
+  void Contribute();
+
+  Config config_;
+  bool contributed_ = false;
+};
+
+// The Querier endpoint: records the first final result (Active Backup may
+// deliver duplicates).
+class QuerierActor : public ActorBase {
+ public:
+  QuerierActor(net::Simulator* sim, device::Device* dev, uint64_t query_id,
+               ExecutionTrace* trace = nullptr)
+      : ActorBase(sim, dev), query_id_(query_id), trace_(trace) {}
+
+  bool has_result() const { return has_result_; }
+  const FinalResultMsg& result() const { return result_; }
+  SimTime result_time() const { return result_time_; }
+  uint32_t duplicates() const { return duplicates_; }
+
+ protected:
+  void HandleMessage(const net::Message& msg) override;
+
+ private:
+  uint64_t query_id_;
+  ExecutionTrace* trace_ = nullptr;
+  bool has_result_ = false;
+  FinalResultMsg result_;
+  SimTime result_time_ = kSimTimeNever;
+  uint32_t duplicates_ = 0;
+};
+
+}  // namespace edgelet::exec
+
+#endif  // EDGELET_EXEC_ACTOR_H_

@@ -1,0 +1,224 @@
+#include "exec/combiner.h"
+
+#include "common/logging.h"
+#include "ml/metrics.h"
+
+namespace edgelet::exec {
+
+CombinerActor::CombinerActor(net::Simulator* sim, device::Device* dev,
+                             Config config)
+    : ActorBase(sim, dev), config_(std::move(config)) {
+  replica_ = std::make_unique<ReplicaRole>(sim, dev, config_.replica);
+  replica_->set_on_promote([this]() { EmitPending(); });
+}
+
+void CombinerActor::Start() {
+  replica_->Start();
+  if (config_.emit_at != kSimTimeNever) {
+    sim()->ScheduleAt(config_.emit_at, [this]() { OnEmitTimer(); });
+  }
+}
+
+void CombinerActor::HandleMessage(const net::Message& msg) {
+  switch (msg.type) {
+    case kGsPartial:
+      if (config_.mode == Mode::kGroupingSets) OnGsPartial(msg);
+      break;
+    case kKmFinal:
+      if (config_.mode == Mode::kKMeans) OnKmFinal(msg);
+      break;
+    case kLeaderPing: {
+      auto ping = LeaderPingMsg::Decode(msg.payload);
+      if (ping.ok()) replica_->HandlePing(*ping);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void CombinerActor::OnGsPartial(const net::Message& msg) {
+  if (result_ready_ || combining_) return;
+  auto payload = dev()->OpenPayload(msg);
+  if (!payload.ok()) return;
+  auto partial = GsPartialMsg::Decode(*payload);
+  if (!partial.ok() || partial->query_id != config_.query_id) return;
+
+  PartitionState& state = partitions_[partial->partition];
+  if (state.complete) return;
+  if (state.by_vgroup.count(partial->vgroup)) return;  // duplicate
+  state.by_vgroup.emplace(
+      partial->vgroup,
+      std::make_pair(partial->epoch, std::move(partial->result)));
+
+  if (state.by_vgroup.size() == config_.num_vgroups) {
+    state.complete = true;
+    complete_order_.push_back(partial->partition);
+    if (config_.trace != nullptr) {
+      config_.trace->Record(
+          sim()->now(), TraceEventKind::kPartitionComplete, dev()->id(),
+          static_cast<int>(partial->partition), -1,
+          std::to_string(complete_order_.size()) + "/" +
+              std::to_string(config_.n_needed) + " needed");
+    }
+    MaybeCombineGs();
+  }
+}
+
+void CombinerActor::MaybeCombineGs() {
+  if (combining_ || result_ready_) return;
+  if (static_cast<int>(complete_order_.size()) < config_.n_needed) return;
+  combining_ = true;
+  // Merging n partitions' partials costs time proportional to their group
+  // count; approximate with one quota's worth of work.
+  sim()->ScheduleAfter(dev()->ComputeCost(complete_order_.size() * 16),
+                       [this]() { CombineAndEmitGs(); });
+}
+
+void CombinerActor::CombineAndEmitGs() {
+  query::GroupingSetsResult acc;
+  merged_partitions_.clear();
+  for (int i = 0; i < config_.n_needed; ++i) {
+    uint32_t p = complete_order_[i];
+    const PartitionState& state = partitions_[p];
+    std::vector<uint32_t> epochs(config_.num_vgroups, 0);
+    for (const auto& [vg, epoch_partial] : state.by_vgroup) {
+      epochs[vg] = epoch_partial.first;
+      Status s = acc.Merge(epoch_partial.second);
+      if (!s.ok()) {
+        EDGELET_LOG(kError) << "combiner merge failed: " << s.ToString();
+        return;
+      }
+    }
+    merged_partitions_.emplace_back(p, std::move(epochs));
+  }
+  auto table = acc.Finalize();
+  if (!table.ok()) {
+    EDGELET_LOG(kError) << "combiner finalize failed: "
+                        << table.status().ToString();
+    return;
+  }
+  pending_result_ = std::move(*table);
+  result_ready_ = true;
+  if (config_.active_emit || replica_->is_leader()) {
+    EmitWithResends();
+  }
+}
+
+void CombinerActor::EmitPending() {
+  if (result_ready_ && !emitted_) EmitWithResends();
+}
+
+void CombinerActor::OnEmitTimer() {
+  if (config_.mode == Mode::kKMeans) {
+    CombineAndEmitKm();
+  }
+  // Grouping-Sets mode: nothing to do — an incomplete snapshot cannot be
+  // made valid by waiting less; the execution is counted as failed.
+}
+
+void CombinerActor::OnKmFinal(const net::Message& msg) {
+  if (result_ready_) return;
+  auto payload = dev()->OpenPayload(msg);
+  if (!payload.ok()) return;
+  auto report = KmFinalMsg::Decode(*payload);
+  if (!report.ok() || report->query_id != config_.query_id) return;
+  if (km_partitions_seen_.count(report->partition)) return;
+  km_partitions_seen_[report->partition] = true;
+  merged_partitions_.emplace_back(report->partition,
+                                  std::vector<uint32_t>{0});
+
+  if (km_aligned_.empty()) {
+    km_aligned_.push_back(std::move(report->knowledge));
+    km_stats_ = std::move(report->stats);
+    return;
+  }
+  auto perm = ml::AlignCentroids(km_aligned_[0].centroids,
+                                 report->knowledge.centroids);
+  if (!perm.ok()) return;
+  km_aligned_.push_back(ml::PermuteKnowledge(report->knowledge, *perm));
+  report->stats.Permute(*perm);
+  Status s = km_stats_.MergeFrom(report->stats);
+  if (!s.ok()) {
+    EDGELET_LOG(kWarning) << "cluster stats merge failed: " << s.ToString();
+  }
+}
+
+void CombinerActor::CombineAndEmitKm() {
+  if (km_aligned_.empty()) return;  // nothing arrived: failed execution
+  auto merged = ml::MergeKnowledge(km_aligned_);
+  if (!merged.ok()) {
+    EDGELET_LOG(kError) << "knowledge merge failed: "
+                        << merged.status().ToString();
+    return;
+  }
+
+  // Result table: cluster, size, centroid coordinates, then the requested
+  // per-cluster aggregates.
+  std::vector<data::Column> cols;
+  cols.push_back({"cluster", data::ValueType::kInt64});
+  cols.push_back({"size", data::ValueType::kInt64});
+  for (const auto& f : config_.km_spec.features) {
+    cols.push_back({"centroid_" + f, data::ValueType::kDouble});
+  }
+  for (const auto& a : config_.km_spec.cluster_aggregates) {
+    data::ValueType t = query::AggregateYieldsInteger(a.fn)
+                            ? data::ValueType::kInt64
+                            : data::ValueType::kDouble;
+    cols.push_back({a.OutputName(), t});
+  }
+  data::Table table{data::Schema(std::move(cols))};
+  const size_t k = merged->centroids.size();
+  for (size_t c = 0; c < k; ++c) {
+    data::Tuple row;
+    row.emplace_back(static_cast<int64_t>(c));
+    row.emplace_back(static_cast<int64_t>(merged->counts[c]));
+    for (double coord : merged->centroids[c]) row.emplace_back(coord);
+    for (size_t a = 0; a < config_.km_spec.cluster_aggregates.size(); ++a) {
+      if (c < km_stats_.per_cluster.size() &&
+          a < km_stats_.per_cluster[c].size()) {
+        row.push_back(km_stats_.per_cluster[c][a].Finalize(
+            config_.km_spec.cluster_aggregates[a]));
+      } else {
+        row.push_back(data::Value::Null());
+      }
+    }
+    table.AppendUnchecked(std::move(row));
+  }
+  pending_result_ = std::move(table);
+  result_ready_ = true;
+  if (config_.active_emit || replica_->is_leader()) {
+    EmitWithResends();
+  }
+}
+
+void CombinerActor::EmitWithResends() {
+  SendResult(pending_result_);
+  for (int i = 1; i <= config_.result_resends; ++i) {
+    sim()->ScheduleAfter(
+        static_cast<SimDuration>(i) * config_.resend_interval, [this]() {
+          if (result_ready_) SendResult(pending_result_);
+        });
+  }
+}
+
+void CombinerActor::SendResult(const data::Table& table) {
+  FinalResultMsg msg;
+  msg.query_id = config_.query_id;
+  for (const auto& [p, vgroup_epochs] : merged_partitions_) {
+    msg.partitions.push_back(p);
+    msg.epochs.insert(msg.epochs.end(), vgroup_epochs.begin(),
+                      vgroup_epochs.end());
+  }
+  msg.result = table;
+  SealAndSendAll(config_.querier_targets, kFinalResult, msg.Encode());
+  if (!emitted_ && config_.trace != nullptr) {
+    config_.trace->Record(sim()->now(), TraceEventKind::kResultEmitted,
+                          dev()->id(), -1, -1,
+                          std::to_string(merged_partitions_.size()) +
+                              " partitions merged");
+  }
+  emitted_ = true;
+}
+
+}  // namespace edgelet::exec

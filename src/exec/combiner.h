@@ -1,0 +1,108 @@
+#ifndef EDGELET_EXEC_COMBINER_H_
+#define EDGELET_EXEC_COMBINER_H_
+
+#include <map>
+#include <memory>
+
+#include "exec/actor.h"
+#include "exec/replica.h"
+#include "ml/kmeans.h"
+
+namespace edgelet::exec {
+
+// The Computing Combiner: merges Computer partials into the final answer
+// and delivers it to the Querier.
+//
+// Grouping-Sets mode: tracks per-partition completeness (all vertical
+// groups present, from one epoch); as soon as n partitions are complete it
+// merges exactly those n (validity: the result covers a snapshot of
+// cardinality n * C/n = C) and emits.
+//
+// K-Means mode: accumulates knowledge reports (aligned by Hungarian
+// matching) until its emit time right before the deadline, then emits the
+// merged centroids, sizes, and per-cluster aggregates.
+//
+// In Overcollection mode two instances run in parallel (Combiner + Active
+// Backup) and both emit; the querier deduplicates. In Backup mode the
+// instances form a leader/standby replica group.
+class CombinerActor : public ActorBase {
+ public:
+  enum class Mode { kGroupingSets, kKMeans };
+
+  struct Config {
+    uint64_t query_id = 0;
+    Mode mode = Mode::kGroupingSets;
+    int n_needed = 1;
+    uint32_t num_vgroups = 1;
+    query::GroupingSetsSpec gs_spec;
+    query::KMeansQuerySpec km_spec;
+    std::vector<net::NodeId> querier_targets;
+    // When to give up waiting and (for K-Means) emit what is known.
+    SimTime emit_at = kSimTimeNever;
+    // The result travels over the same uncertain links as everything
+    // else; the combiner re-emits it this many extra times (the querier
+    // deduplicates).
+    int result_resends = 2;
+    SimDuration resend_interval = 15 * kSecond;
+    // True: emit as soon as ready regardless of replica rank (active
+    // replication). False: only the replica-group leader emits.
+    bool active_emit = true;
+    ReplicaRole::Config replica;
+    ExecutionTrace* trace = nullptr;
+  };
+
+  CombinerActor(net::Simulator* sim, device::Device* dev, Config config);
+
+  void Start();
+
+  bool emitted() const { return emitted_; }
+  size_t partitions_complete() const { return complete_order_.size(); }
+
+ protected:
+  void HandleMessage(const net::Message& msg) override;
+
+ private:
+  // Vertical chains are independent (each samples its own C/n rows), so
+  // the combiner keeps the first partial per vertical group; the partition
+  // is complete once every vertical group reported. The epoch records
+  // which snapshot-builder replica's sample was consumed.
+  struct PartitionState {
+    std::map<uint32_t, std::pair<uint32_t, query::GroupingSetsResult>>
+        by_vgroup;  // vgroup -> (epoch, partial)
+    bool complete = false;
+  };
+
+  void OnGsPartial(const net::Message& msg);
+  void OnKmFinal(const net::Message& msg);
+  void MaybeCombineGs();
+  void CombineAndEmitGs();
+  void EmitPending();
+  void OnEmitTimer();
+  void CombineAndEmitKm();
+  void SendResult(const data::Table& table);
+  void EmitWithResends();
+
+  Config config_;
+  std::unique_ptr<ReplicaRole> replica_;
+
+  // GS state.
+  std::map<uint32_t, PartitionState> partitions_;
+  std::vector<uint32_t> complete_order_;
+  bool combining_ = false;
+
+  // KM state: first report anchors centroid indices; later reports align.
+  std::vector<ml::KMeansKnowledge> km_aligned_;
+  ClusterStats km_stats_;
+  std::map<uint32_t, bool> km_partitions_seen_;
+  // Partitions merged into the emitted result, with the epoch used per
+  // vertical group (flattened vgroup-major in FinalResultMsg::epochs).
+  std::vector<std::pair<uint32_t, std::vector<uint32_t>>> merged_partitions_;
+
+  bool result_ready_ = false;
+  data::Table pending_result_;
+  bool emitted_ = false;
+};
+
+}  // namespace edgelet::exec
+
+#endif  // EDGELET_EXEC_COMBINER_H_

@@ -1,0 +1,109 @@
+#ifndef EDGELET_EXEC_COMPUTER_H_
+#define EDGELET_EXEC_COMPUTER_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "exec/actor.h"
+#include "exec/replica.h"
+#include "ml/kmeans.h"
+
+namespace edgelet::exec {
+
+// A Computer operator bound to one (partition, vertical-group) slice of the
+// snapshot.
+//
+// Grouping-Sets mode: on receiving its slice, evaluates its assigned
+// grouping sets and ships the mergeable partial to the combiner(s).
+//
+// K-Means mode (paper §2.2): heartbeat-cadenced loop — every heartbeat it
+// (1) integrates the knowledge received from peer Computers since the last
+// round (synchronization phase), (2) runs `local_iterations` Lloyd steps on
+// its local partition (local convergence phase) and (3) broadcasts its
+// knowledge. Rounds advance on the clock even when nothing was received.
+// Right before the deadline (the last heartbeat) it reports knowledge plus
+// per-cluster aggregates to the combiner(s).
+class ComputerActor : public ActorBase {
+ public:
+  enum class Mode { kGroupingSets, kKMeans };
+
+  struct Config {
+    uint64_t query_id = 0;
+    uint32_t partition = 0;
+    uint32_t vgroup = 0;
+    Mode mode = Mode::kGroupingSets;
+
+    // Grouping-Sets mode.
+    query::GroupingSetsSpec gs_spec;
+    std::vector<size_t> set_indices;
+
+    // K-Means mode.
+    query::KMeansQuerySpec km_spec;
+    // peers[i] = replica group of another partition's computer.
+    std::vector<std::vector<net::NodeId>> peers;
+    SimTime first_heartbeat = 0;
+    SimDuration heartbeat_period = 10 * kSecond;
+    int num_heartbeats = 1;
+
+    // Output: every combiner instance (primary + active backup, or the
+    // Backup-strategy replica group).
+    std::vector<net::NodeId> combiners;
+
+    ReplicaRole::Config replica;
+    ExecutionTrace* trace = nullptr;
+    // Extra re-emissions of partials / final reports (combiners dedup).
+    int emission_resends = 0;
+    SimDuration resend_interval = 15 * kSecond;
+  };
+
+  ComputerActor(net::Simulator* sim, device::Device* dev, Config config);
+
+  void Start();
+
+  bool has_slice() const { return have_slice_; }
+  bool output_sent() const { return output_sent_; }
+  int rounds_with_peer_input() const { return rounds_with_peer_input_; }
+
+ protected:
+  void HandleMessage(const net::Message& msg) override;
+
+ private:
+  void OnSlice(const net::Message& msg);
+  void ComputeAndEmitGs();
+  void EmitGs();
+  void EmitGsWithResends();
+  void Heartbeat(int round);
+  void SyncPhase();
+  void LocalPhase();
+  void BroadcastKnowledge(int round);
+  void EmitKmFinal();
+
+  Config config_;
+  std::unique_ptr<ReplicaRole> replica_;
+
+  // Slice state.
+  bool have_slice_ = false;
+  uint32_t slice_epoch_ = 0;
+  data::Table slice_;
+
+  // GS state.
+  std::optional<query::GroupingSetsResult> gs_partial_;
+  bool output_sent_ = false;
+
+  // KM state.
+  ml::Matrix points_;
+  ml::KMeansKnowledge knowledge_;
+  bool km_initialized_ = false;
+  std::vector<ml::KMeansKnowledge> inbox_;
+  // (partition, round) pairs already integrated (dedup of re-broadcasts).
+  std::map<std::pair<uint32_t, uint32_t>, bool> seen_rounds_;
+  int rounds_with_peer_input_ = 0;
+  // Mini-batch resampling state (km_spec.batch_size > 0).
+  Rng mb_rng_{1};
+  std::vector<uint64_t> mb_counts_;
+};
+
+}  // namespace edgelet::exec
+
+#endif  // EDGELET_EXEC_COMPUTER_H_

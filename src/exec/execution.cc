@@ -1,0 +1,326 @@
+#include "exec/execution.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "data/generator.h"
+
+namespace edgelet::exec {
+
+std::string_view StrategyName(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kOvercollection:
+      return "Overcollection";
+    case Strategy::kBackup:
+      return "Backup";
+  }
+  return "?";
+}
+
+QueryExecution::QueryExecution(net::Simulator* sim, net::Network* network,
+                               device::Fleet* fleet, Deployment deployment,
+                               ExecutionConfig config)
+    : sim_(sim),
+      network_(network),
+      fleet_(fleet),
+      deployment_(std::move(deployment)),
+      config_(config) {}
+
+QueryExecution::~QueryExecution() = default;
+
+Status QueryExecution::Start() {
+  if (started_) return Status::FailedPrecondition("already started");
+  started_ = true;
+  base_ = sim_->now();
+  if (config_.enable_trace) trace_ = std::make_unique<ExecutionTrace>();
+  stats_before_ = network_->stats();
+
+  EDGELET_RETURN_NOT_OK(BuildContributors());
+  EDGELET_RETURN_NOT_OK(BuildSnapshotBuilders());
+  EDGELET_RETURN_NOT_OK(BuildComputers());
+  EDGELET_RETURN_NOT_OK(BuildCombiners());
+
+  device::Device* qdev = fleet_->by_node(deployment_.querier);
+  if (qdev == nullptr) return Status::NotFound("querier device missing");
+  querier_ = std::make_unique<QuerierActor>(
+      sim_, qdev, deployment_.query.query_id, trace_.get());
+
+  if (config_.inject_failures && config_.failure_probability > 0) {
+    InjectFailures();
+  }
+  return Status::OK();
+}
+
+Status QueryExecution::BuildContributors() {
+  const auto& query = deployment_.query;
+  Rng rng(Mix64(config_.seed) ^ 0xC0117B);
+  for (device::Device* dev : fleet_->contributors()) {
+    ContributorActor::Config cfg;
+    cfg.query_id = query.query_id;
+    cfg.predicates = query.predicates;
+    cfg.vgroup_columns = deployment_.vgroup_columns;
+    cfg.builders = deployment_.sb_groups;
+    // The contributor key is the owner's id when the record carries one,
+    // the device id otherwise (it feeds hash partitioning either way).
+    cfg.contributor_key = dev->id();
+    const data::Table& local = dev->local_data();
+    if (!local.empty()) {
+      auto key = local.At(0, data::kContributorIdColumn);
+      if (key.ok() && !key->is_null()) {
+        cfg.contributor_key = static_cast<uint64_t>(key->AsInt64());
+      }
+    }
+    cfg.send_at = base_ + (config_.collection_window > 0
+                               ? rng.NextBelow(config_.collection_window)
+                               : 0);
+    cfg.trace = trace_.get();
+    auto actor = std::make_unique<ContributorActor>(sim_, dev,
+                                                    std::move(cfg));
+    actor->Start();
+    contributors_.push_back(std::move(actor));
+  }
+  return Status::OK();
+}
+
+Status QueryExecution::BuildSnapshotBuilders() {
+  const int total = deployment_.n + deployment_.m;
+  if (static_cast<int>(deployment_.sb_groups.size()) != total) {
+    return Status::InvalidArgument("sb_groups size != n+m");
+  }
+  const size_t vgroups = deployment_.vgroup_columns.size();
+  builders_.resize(total);
+  for (int p = 0; p < total; ++p) {
+    if (deployment_.sb_groups[p].size() != vgroups) {
+      return Status::InvalidArgument("sb_groups vgroup arity mismatch");
+    }
+    builders_[p].resize(vgroups);
+    for (size_t vg = 0; vg < vgroups; ++vg) {
+      for (net::NodeId node : deployment_.sb_groups[p][vg]) {
+        device::Device* dev = fleet_->by_node(node);
+        if (dev == nullptr) {
+          return Status::NotFound("builder device missing");
+        }
+        SnapshotBuilderActor::Config cfg;
+        cfg.query_id = deployment_.query.query_id;
+        cfg.partition = static_cast<uint32_t>(p);
+        cfg.vgroup = static_cast<uint32_t>(vg);
+        cfg.quota = deployment_.quota;
+        cfg.computers = deployment_.computer_groups[p][vg];
+        cfg.columns = deployment_.vgroup_columns[vg];
+        cfg.replica.group_id = HashCombine(
+            deployment_.query.query_id, 0x5B000000ULL + p * 131 + vg);
+        cfg.replica.members = deployment_.sb_groups[p][vg];
+        cfg.replica.ping_period = config_.ping_period;
+        cfg.replica.failover_timeout = config_.failover_timeout;
+        cfg.replica.stop_at = base_ + config_.deadline;
+        cfg.trace = trace_.get();
+        cfg.emission_resends = config_.emission_resends;
+        cfg.resend_interval = config_.resend_interval;
+        auto actor = std::make_unique<SnapshotBuilderActor>(sim_, dev,
+                                                            std::move(cfg));
+        actor->Start();
+        builders_[p][vg].push_back(std::move(actor));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status QueryExecution::BuildComputers() {
+  const int total = deployment_.n + deployment_.m;
+  const auto& query = deployment_.query;
+  const bool kmeans = query.kind == query::QueryKind::kKMeans;
+  const SimTime first_heartbeat =
+      base_ + config_.collection_window + 10 * kSecond;
+
+  for (int p = 0; p < total; ++p) {
+    const auto& vgroups = deployment_.computer_groups[p];
+    for (size_t vg = 0; vg < vgroups.size(); ++vg) {
+      for (net::NodeId node : vgroups[vg]) {
+        device::Device* dev = fleet_->by_node(node);
+        if (dev == nullptr) {
+          return Status::NotFound("computer device missing");
+        }
+        ComputerActor::Config cfg;
+        cfg.query_id = query.query_id;
+        cfg.partition = static_cast<uint32_t>(p);
+        cfg.vgroup = static_cast<uint32_t>(vg);
+        cfg.mode = kmeans ? ComputerActor::Mode::kKMeans
+                          : ComputerActor::Mode::kGroupingSets;
+        cfg.gs_spec = query.grouping_sets;
+        cfg.set_indices = deployment_.vgroup_set_indices[vg];
+        cfg.km_spec = query.kmeans;
+        if (kmeans) {
+          for (int q = 0; q < total; ++q) {
+            if (q == p) continue;
+            cfg.peers.push_back(deployment_.computer_groups[q][0]);
+          }
+          cfg.first_heartbeat = first_heartbeat;
+          cfg.heartbeat_period = config_.heartbeat_period;
+          cfg.num_heartbeats = config_.num_heartbeats;
+        }
+        cfg.combiners = deployment_.combiner_group;
+        cfg.replica.group_id = HashCombine(
+            query.query_id, 0xC0000000ULL + p * 131 + vg);
+        cfg.replica.members = vgroups[vg];
+        cfg.replica.ping_period = config_.ping_period;
+        cfg.replica.failover_timeout = config_.failover_timeout;
+        cfg.replica.stop_at = base_ + config_.deadline;
+        cfg.trace = trace_.get();
+        cfg.emission_resends = config_.emission_resends;
+        cfg.resend_interval = config_.resend_interval;
+        auto actor = std::make_unique<ComputerActor>(sim_, dev,
+                                                     std::move(cfg));
+        actor->Start();
+        computers_.push_back(std::move(actor));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status QueryExecution::BuildCombiners() {
+  const auto& query = deployment_.query;
+  const bool kmeans = query.kind == query::QueryKind::kKMeans;
+  const SimTime emit_at =
+      base_ + (config_.deadline > config_.combiner_margin
+                   ? config_.deadline - config_.combiner_margin
+                   : 0);
+  const bool active = deployment_.strategy == Strategy::kOvercollection;
+
+  for (net::NodeId node : deployment_.combiner_group) {
+    device::Device* dev = fleet_->by_node(node);
+    if (dev == nullptr) return Status::NotFound("combiner device missing");
+    CombinerActor::Config cfg;
+    cfg.query_id = query.query_id;
+    cfg.mode = kmeans ? CombinerActor::Mode::kKMeans
+                      : CombinerActor::Mode::kGroupingSets;
+    cfg.n_needed = deployment_.n;
+    cfg.num_vgroups =
+        static_cast<uint32_t>(deployment_.vgroup_columns.size());
+    cfg.gs_spec = query.grouping_sets;
+    cfg.km_spec = query.kmeans;
+    cfg.querier_targets = {deployment_.querier};
+    cfg.emit_at = emit_at;
+    cfg.result_resends = config_.result_resends;
+    cfg.resend_interval = config_.resend_interval;
+    cfg.active_emit = active;
+    cfg.replica.group_id = HashCombine(query.query_id, 0xCB00000000ULL);
+    cfg.replica.members =
+        active ? std::vector<net::NodeId>{node} : deployment_.combiner_group;
+    cfg.replica.ping_period = config_.ping_period;
+    cfg.replica.failover_timeout = config_.failover_timeout;
+    cfg.replica.stop_at = base_ + config_.deadline;
+    cfg.trace = trace_.get();
+    auto actor = std::make_unique<CombinerActor>(sim_, dev, std::move(cfg));
+    actor->Start();
+    combiners_.push_back(std::move(actor));
+  }
+  return Status::OK();
+}
+
+void QueryExecution::InjectFailures() {
+  // Every Data Processor device is a potential victim; contributors and
+  // the querier are out of scope (a missing contributor just shrinks the
+  // crowd; the querier is the beneficiary).
+  std::vector<net::NodeId> targets;
+  auto add = [&targets](net::NodeId id) {
+    if (std::find(targets.begin(), targets.end(), id) == targets.end()) {
+      targets.push_back(id);
+    }
+  };
+  for (const auto& partition : deployment_.sb_groups) {
+    for (const auto& group : partition) {
+      for (net::NodeId id : group) add(id);
+    }
+  }
+  for (const auto& partition : deployment_.computer_groups) {
+    for (const auto& group : partition) {
+      for (net::NodeId id : group) add(id);
+    }
+  }
+  for (net::NodeId id : deployment_.combiner_group) add(id);
+
+  Rng rng(Mix64(config_.seed) ^ 0xFA11);
+  device::FailurePlan plan = device::PlanFailures(
+      targets, config_.failure_probability, base_, base_ + config_.deadline,
+      &rng);
+  device::ScheduleFailures(network_, plan);
+  if (trace_ != nullptr) {
+    for (const auto& [id, when] : plan.kills) {
+      trace_->Record(when, TraceEventKind::kDeviceKilled, id);
+    }
+  }
+  report_.processors_killed = plan.kills.size();
+}
+
+Status QueryExecution::RunToCompletion() {
+  if (!started_) return Status::FailedPrecondition("call Start() first");
+  sim_->RunUntil(base_ + config_.deadline);
+  CollectReport();
+  return Status::OK();
+}
+
+void QueryExecution::CollectReport() {
+  report_.n = deployment_.n;
+  report_.m = deployment_.m;
+  report_.strategy = deployment_.strategy;
+  report_.success = querier_->has_result() &&
+                    querier_->result_time() <= base_ + config_.deadline;
+  if (report_.success) {
+    report_.completion_time = querier_->result_time() - base_;
+    report_.result = querier_->result().result;
+    report_.partitions_used = querier_->result().partitions;
+    report_.epochs_used = querier_->result().epochs;
+  }
+  report_.duplicate_results = querier_->duplicates();
+  for (const auto& c : contributors_) {
+    if (c->contributed()) ++report_.contributors_participating;
+  }
+
+  const net::NetworkStats& now = network_->stats();
+  report_.messages_sent = now.messages_sent - stats_before_.messages_sent;
+  report_.messages_delivered =
+      now.messages_delivered - stats_before_.messages_delivered;
+  report_.bytes_sent = now.bytes_sent - stats_before_.bytes_sent;
+
+  // Reconstruct the exact crowd sample behind a Grouping Sets result from
+  // the (partition, vgroup, epoch) triples the combiner merged.
+  if (deployment_.query.kind == query::QueryKind::kGroupingSets) {
+    const size_t vgroups = deployment_.vgroup_columns.size();
+    report_.snapshot_contributors_by_vgroup.assign(vgroups, {});
+    for (size_t i = 0; i < report_.partitions_used.size(); ++i) {
+      uint32_t p = report_.partitions_used[i];
+      if (p >= builders_.size()) continue;
+      for (size_t vg = 0; vg < vgroups; ++vg) {
+        size_t flat = i * vgroups + vg;
+        uint32_t epoch =
+            flat < report_.epochs_used.size() ? report_.epochs_used[flat] : 0;
+        for (const auto& builder : builders_[p][vg]) {
+          if (builder->rank() == epoch) {
+            const auto& keys = builder->included_contributors();
+            auto& out = report_.snapshot_contributors_by_vgroup[vg];
+            out.insert(out.end(), keys.begin(), keys.end());
+          }
+        }
+      }
+    }
+  }
+
+  for (const auto& partition : builders_) {
+    for (const auto& group : partition) {
+      for (const auto& b : group) {
+        report_.max_observed_exposure_tuples =
+            std::max(report_.max_observed_exposure_tuples,
+                     b->dev()->enclave().cleartext_tuples_observed());
+      }
+    }
+  }
+  for (const auto& c : computers_) {
+    report_.max_observed_exposure_tuples =
+        std::max(report_.max_observed_exposure_tuples,
+                 c->dev()->enclave().cleartext_tuples_observed());
+  }
+}
+
+}  // namespace edgelet::exec

@@ -1,0 +1,171 @@
+#ifndef EDGELET_EXEC_EXECUTION_H_
+#define EDGELET_EXEC_EXECUTION_H_
+
+#include <memory>
+
+#include "device/fleet.h"
+#include "exec/combiner.h"
+#include "exec/computer.h"
+#include "exec/snapshot_builder.h"
+#include "query/qep.h"
+#include "query/query.h"
+
+namespace edgelet::exec {
+
+// The two resiliency strategies of [14]. Overcollection runs n+m
+// single-instance partitions and tolerates losing up to m; Backup runs
+// exactly n partitions with replicated operators and leader failover.
+enum class Strategy : uint8_t {
+  kOvercollection = 0,
+  kBackup = 1,
+};
+
+std::string_view StrategyName(Strategy strategy);
+
+// Planner output: the physical plan — which device hosts which operator
+// replica. Produced by core::Planner, consumed by QueryExecution.
+struct Deployment {
+  query::Query query;
+  query::Qep qep;
+  Strategy strategy = Strategy::kOvercollection;
+  int n = 1;
+  int m = 0;
+  uint64_t quota = 0;  // ceil(C / n) tuples per partition
+  // Attribute columns per vertical group and the grouping sets each
+  // evaluates.
+  std::vector<std::vector<std::string>> vgroup_columns;
+  std::vector<std::vector<size_t>> vgroup_set_indices;
+  // Rank-ordered replica groups (singletons under Overcollection).
+  // Vertical partitioning applies from the contributor onward (paper
+  // Fig. 2): each (partition, vertical-group) pair has its own snapshot
+  // builder chain, so no single edgelet ever holds a separated attribute
+  // pair.
+  std::vector<std::vector<std::vector<net::NodeId>>>
+      sb_groups;  // [partition][vgroup][rank]
+  std::vector<std::vector<std::vector<net::NodeId>>>
+      computer_groups;  // [partition][vgroup][rank]
+  // Overcollection: independent active instances (Combiner + Active
+  // Backup). Backup strategy: one leader/standby group.
+  std::vector<net::NodeId> combiner_group;
+  net::NodeId querier = 0;
+
+  // Overcollection gathers (n+m) partitions of quota tuples each, so the
+  // crowd must contain at least this many qualifying contributors (plus
+  // margin for hash imbalance and message loss) for every chain to fill.
+  uint64_t MinQualifyingCrowd() const {
+    return static_cast<uint64_t>(n + m) * quota;
+  }
+};
+
+struct ExecutionConfig {
+  // Contributors transmit at a uniformly random time inside this window
+  // (their opportunistic contact).
+  SimDuration collection_window = 60 * kSecond;
+  // Hard completion contract for the Resiliency property.
+  SimDuration deadline = 10 * kMinute;
+  // Combiners emit at deadline - margin so the answer can still reach the
+  // querier in time.
+  SimDuration combiner_margin = 60 * kSecond;
+  // K-Means cadence (paper §2.2).
+  SimDuration heartbeat_period = 30 * kSecond;
+  int num_heartbeats = 8;
+  // Backup strategy liveness parameters.
+  SimDuration ping_period = 5 * kSecond;
+  SimDuration failover_timeout = 20 * kSecond;
+  // Crash-failure injection over the Data Processor devices.
+  bool inject_failures = true;
+  double failure_probability = 0.0;
+  uint64_t seed = 1;
+  // Record a step-by-step ExecutionTrace (the demo GUI's timeline view).
+  bool enable_trace = false;
+  // Extra emissions of the final result (delivery is as uncertain as any
+  // other message; the querier deduplicates).
+  int result_resends = 2;
+  // Extra emissions of the other one-shot protocol messages (snapshot
+  // slices, computed partials); receivers deduplicate. Contributions and
+  // K-Means broadcasts are naturally redundant and are not repeated.
+  int emission_resends = 2;
+  SimDuration resend_interval = 15 * kSecond;
+};
+
+struct ExecutionReport {
+  bool success = false;
+  // Relative to the execution's start (the paper's completion-before-
+  // deadline contract).
+  SimTime completion_time = kSimTimeNever;
+  data::Table result;
+  std::vector<uint32_t> partitions_used;
+  std::vector<uint32_t> epochs_used;
+  int n = 0;
+  int m = 0;
+  Strategy strategy = Strategy::kOvercollection;
+  size_t processors_killed = 0;
+  size_t contributors_participating = 0;
+  uint32_t duplicate_results = 0;
+  // Network activity attributable to this execution.
+  uint64_t messages_sent = 0;
+  uint64_t messages_delivered = 0;
+  uint64_t bytes_sent = 0;
+  // Contributor keys whose rows form the merged snapshot, per vertical
+  // group (Grouping Sets executions; used for exact validity
+  // verification — each vertical chain samples its own C/n rows per
+  // partition).
+  std::vector<std::vector<uint64_t>> snapshot_contributors_by_vgroup;
+  // Worst observed cleartext exposure across processor enclaves.
+  uint64_t max_observed_exposure_tuples = 0;
+};
+
+// Runs one planned query over the fleet on the discrete-event simulator.
+class QueryExecution {
+ public:
+  QueryExecution(net::Simulator* sim, net::Network* network,
+                 device::Fleet* fleet, Deployment deployment,
+                 ExecutionConfig config);
+  ~QueryExecution();
+
+  QueryExecution(const QueryExecution&) = delete;
+  QueryExecution& operator=(const QueryExecution&) = delete;
+
+  // Instantiates actors, schedules contributions and failures.
+  Status Start();
+  // Runs the simulator to the deadline and assembles the report.
+  Status RunToCompletion();
+
+  const ExecutionReport& report() const { return report_; }
+  // Non-null iff config.enable_trace; valid for this object's lifetime.
+  const ExecutionTrace* trace() const { return trace_.get(); }
+
+ private:
+  Status BuildContributors();
+  Status BuildSnapshotBuilders();
+  Status BuildComputers();
+  Status BuildCombiners();
+  void InjectFailures();
+  void CollectReport();
+
+  net::Simulator* sim_;
+  net::Network* network_;
+  device::Fleet* fleet_;
+  Deployment deployment_;
+  ExecutionConfig config_;
+
+  std::vector<std::unique_ptr<ContributorActor>> contributors_;
+  // [partition][vgroup][rank].
+  std::vector<std::vector<std::vector<std::unique_ptr<SnapshotBuilderActor>>>>
+      builders_;
+  std::vector<std::unique_ptr<ComputerActor>> computers_;
+  std::vector<std::unique_ptr<CombinerActor>> combiners_;
+  std::unique_ptr<QuerierActor> querier_;
+
+  std::unique_ptr<ExecutionTrace> trace_;
+  net::NetworkStats stats_before_;
+  ExecutionReport report_;
+  bool started_ = false;
+  // Simulation time when Start() ran; all schedule points are relative to
+  // it so several executions can share one simulator sequentially.
+  SimTime base_ = 0;
+};
+
+}  // namespace edgelet::exec
+
+#endif  // EDGELET_EXEC_EXECUTION_H_

@@ -1,0 +1,123 @@
+#ifndef EDGELET_EXEC_PROTOCOL_H_
+#define EDGELET_EXEC_PROTOCOL_H_
+
+#include <cstdint>
+
+#include "data/table.h"
+#include "ml/kmeans.h"
+#include "query/grouping_sets.h"
+
+namespace edgelet::exec {
+
+// Protocol message kinds carried in net::Message::type. Data-bearing
+// messages (< kLeaderPing) travel AEAD-sealed between enclaves; control
+// messages are plaintext.
+enum MessageType : uint32_t {
+  kContribution = 1,    // Contributor -> SnapshotBuilder
+  kSnapshotSlice = 2,   // SnapshotBuilder -> Computer
+  kGsPartial = 3,       // Computer -> Combiner (Grouping Sets)
+  kKmKnowledge = 4,     // Computer <-> Computer (K-Means sync broadcast)
+  kKmFinal = 5,         // Computer -> Combiner (K-Means)
+  kFinalResult = 6,     // Combiner -> Querier
+  kLeaderPing = 100,    // Backup strategy: leader liveness announcement
+};
+
+// --- Payload envelopes -------------------------------------------------------
+
+// One contributor's qualifying rows (usually a single record).
+struct ContributionMsg {
+  uint64_t query_id = 0;
+  uint64_t contributor_key = 0;
+  data::Table rows;
+
+  Bytes Encode() const;
+  static Result<ContributionMsg> Decode(const Bytes& b);
+};
+
+// A vertical slice of one snapshot partition.
+struct SnapshotSliceMsg {
+  uint64_t query_id = 0;
+  uint32_t partition = 0;
+  uint32_t vgroup = 0;
+  // Epoch distinguishes re-emissions by failover replicas (Backup
+  // strategy): a partition's slices must come from one epoch.
+  uint32_t epoch = 0;
+  data::Table rows;
+
+  Bytes Encode() const;
+  static Result<SnapshotSliceMsg> Decode(const Bytes& b);
+};
+
+// A computer's grouping-sets partial over its slice.
+struct GsPartialMsg {
+  uint64_t query_id = 0;
+  uint32_t partition = 0;
+  uint32_t vgroup = 0;
+  uint32_t epoch = 0;
+  query::GroupingSetsResult result;
+
+  Bytes Encode() const;
+  static Result<GsPartialMsg> Decode(const Bytes& b);
+};
+
+// Per-cluster aggregate states, index-aligned with KMeansKnowledge
+// centroids (the "Group By on the resulting clusters" of demo query ii).
+struct ClusterStats {
+  // per_cluster[c][a] = state of aggregate a over rows in cluster c.
+  std::vector<std::vector<query::AggregateState>> per_cluster;
+
+  void Permute(const std::vector<int>& perm);
+  Status MergeFrom(const ClusterStats& other);
+  void Serialize(Writer* w) const;
+  static Result<ClusterStats> Deserialize(Reader* r);
+};
+
+// K-Means knowledge broadcast between computers each heartbeat.
+struct KmKnowledgeMsg {
+  uint64_t query_id = 0;
+  uint32_t partition = 0;
+  uint32_t round = 0;
+  ml::KMeansKnowledge knowledge;
+
+  Bytes Encode() const;
+  static Result<KmKnowledgeMsg> Decode(const Bytes& b);
+};
+
+// Final K-Means report from a computer to the combiner.
+struct KmFinalMsg {
+  uint64_t query_id = 0;
+  uint32_t partition = 0;
+  ml::KMeansKnowledge knowledge;
+  ClusterStats stats;
+
+  Bytes Encode() const;
+  static Result<KmFinalMsg> Decode(const Bytes& b);
+};
+
+// The combiner's answer.
+struct FinalResultMsg {
+  uint64_t query_id = 0;
+  // Snapshot partitions merged into the result (with the epoch of the
+  // slice used for each) — lets the querier audit which crowd sample the
+  // answer covers, and lets the framework verify validity against a
+  // centralized run over the same sample.
+  std::vector<uint32_t> partitions;
+  std::vector<uint32_t> epochs;
+  data::Table result;
+
+  Bytes Encode() const;
+  static Result<FinalResultMsg> Decode(const Bytes& b);
+};
+
+// Leader liveness ping (plaintext control message).
+struct LeaderPingMsg {
+  uint64_t group_id = 0;
+  uint32_t rank = 0;
+
+  Bytes Encode() const;
+  static Result<LeaderPingMsg> Decode(const Bytes& b);
+};
+
+}  // namespace edgelet::exec
+
+#endif  // EDGELET_EXEC_PROTOCOL_H_

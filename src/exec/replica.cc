@@ -1,0 +1,70 @@
+#include "exec/replica.h"
+
+#include <algorithm>
+
+namespace edgelet::exec {
+
+ReplicaRole::ReplicaRole(net::Simulator* sim, device::Device* dev,
+                         Config config)
+    : sim_(sim), dev_(dev), config_(std::move(config)) {
+  auto it = std::find(config_.members.begin(), config_.members.end(),
+                      dev_->id());
+  rank_ = static_cast<uint32_t>(it - config_.members.begin());
+  believes_leader_ = (rank_ == 0);
+}
+
+void ReplicaRole::Start() {
+  if (config_.members.size() <= 1) return;  // singleton: silent leader
+  last_lower_ping_ = sim_->now();
+  Tick();
+}
+
+void ReplicaRole::Tick() {
+  if (sim_->now() >= config_.stop_at) return;
+  net::Network* network = dev_->network();
+  if (network->IsDead(dev_->id())) return;  // crashed: role ends
+  if (!network->IsOnline(dev_->id())) {
+    // Disconnected: cannot observe pings reliably or act; check again
+    // later without promoting (the mailbox will replay missed pings).
+    last_lower_ping_ = sim_->now();
+    sim_->ScheduleAfter(config_.ping_period, [this]() { Tick(); });
+    return;
+  }
+  if (believes_leader_) {
+    // Announce liveness to all higher-ranked replicas.
+    LeaderPingMsg ping{config_.group_id, rank_};
+    Bytes payload = ping.Encode();
+    for (size_t r = rank_ + 1; r < config_.members.size(); ++r) {
+      dev_->SendControl(config_.members[r], kLeaderPing, payload);
+    }
+  } else {
+    // Promote when every lower-ranked replica has been silent longer than
+    // this replica's graded timeout.
+    SimDuration timeout =
+        config_.failover_timeout * static_cast<SimDuration>(rank_);
+    if (sim_->now() - last_lower_ping_ > timeout) {
+      believes_leader_ = true;
+      if (!promoted_fired_) {
+        promoted_fired_ = true;
+        if (on_promote_) on_promote_();
+      }
+      // Fall through: next ticks will ping as leader.
+    }
+  }
+  sim_->ScheduleAfter(config_.ping_period, [this]() { Tick(); });
+}
+
+void ReplicaRole::HandlePing(const LeaderPingMsg& ping) {
+  if (ping.group_id != config_.group_id) return;
+  if (ping.rank < rank_) {
+    last_lower_ping_ = sim_->now();
+    if (believes_leader_ && ping.rank < rank_) {
+      // A lower-ranked replica is alive again; yield leadership to avoid
+      // long-term duplicate emission (duplicates are deduplicated
+      // downstream anyway, but yielding reduces traffic).
+      believes_leader_ = false;
+    }
+  }
+}
+
+}  // namespace edgelet::exec

@@ -1,0 +1,65 @@
+#ifndef EDGELET_EXEC_REPLICA_H_
+#define EDGELET_EXEC_REPLICA_H_
+
+#include <functional>
+#include <vector>
+
+#include "device/device.h"
+#include "exec/protocol.h"
+#include "net/simulator.h"
+
+namespace edgelet::exec {
+
+// Leader/standby coordination for the Backup resiliency strategy ([14]):
+// every replica of an operator receives the same inputs and maintains the
+// same state (hot standby), but only the leader emits output. The leader
+// pings its higher-ranked replicas periodically; replica r promotes itself
+// when no lower-ranked replica has pinged for rank-graded timeout r*T, so
+// takeovers cascade in rank order without a coordinator.
+//
+// With a singleton group (Overcollection mode) the role is trivially leader
+// and completely silent — no ping traffic.
+class ReplicaRole {
+ public:
+  struct Config {
+    uint64_t group_id = 0;
+    // Rank-ordered members; must contain the owning device's id.
+    std::vector<net::NodeId> members;
+    SimDuration ping_period = 5 * kSecond;
+    SimDuration failover_timeout = 15 * kSecond;
+    // Ping/monitor loop stops after this time (the query deadline);
+    // prevents an idle replica group from keeping the simulation alive.
+    SimTime stop_at = kSimTimeNever;
+  };
+
+  ReplicaRole(net::Simulator* sim, device::Device* dev, Config config);
+
+  void Start();
+
+  uint32_t rank() const { return rank_; }
+  bool is_leader() const { return believes_leader_; }
+  size_t group_size() const { return config_.members.size(); }
+  uint64_t group_id() const { return config_.group_id; }
+
+  // Routed by the owning actor for kLeaderPing messages of this group.
+  void HandlePing(const LeaderPingMsg& ping);
+
+  // Invoked once when this replica decides to take over.
+  void set_on_promote(std::function<void()> fn) { on_promote_ = std::move(fn); }
+
+ private:
+  void Tick();
+
+  net::Simulator* sim_;
+  device::Device* dev_;
+  Config config_;
+  uint32_t rank_ = 0;
+  bool believes_leader_ = false;
+  bool promoted_fired_ = false;
+  SimTime last_lower_ping_ = 0;
+  std::function<void()> on_promote_;
+};
+
+}  // namespace edgelet::exec
+
+#endif  // EDGELET_EXEC_REPLICA_H_

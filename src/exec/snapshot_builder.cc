@@ -1,0 +1,112 @@
+#include "exec/snapshot_builder.h"
+
+#include "common/logging.h"
+
+namespace edgelet::exec {
+
+SnapshotBuilderActor::SnapshotBuilderActor(net::Simulator* sim,
+                                           device::Device* dev, Config config)
+    : ActorBase(sim, dev), config_(std::move(config)) {
+  replica_ = std::make_unique<ReplicaRole>(sim, dev, config_.replica);
+  replica_->set_on_promote([this]() {
+    if (config_.trace != nullptr) {
+      config_.trace->Record(this->sim()->now(),
+                            TraceEventKind::kLeaderFailover,
+                            this->dev()->id(), config_.partition,
+                            config_.vgroup,
+                            "snapshot builder rank " +
+                                std::to_string(replica_->rank()) +
+                                " takes over");
+    }
+    // Taking over: if the snapshot is ready, (re-)emit it under this
+    // replica's epoch so downstream consumers get a consistent slice.
+    if (complete_) EmitSliceWithResends();
+  });
+}
+
+void SnapshotBuilderActor::Start() { replica_->Start(); }
+
+void SnapshotBuilderActor::HandleMessage(const net::Message& msg) {
+  switch (msg.type) {
+    case kContribution:
+      OnContribution(msg);
+      break;
+    case kLeaderPing: {
+      auto ping = LeaderPingMsg::Decode(msg.payload);
+      if (ping.ok()) replica_->HandlePing(*ping);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void SnapshotBuilderActor::OnContribution(const net::Message& msg) {
+  if (complete_) return;  // quota reached: later contributions are ignored
+  auto payload = dev()->OpenPayload(msg);
+  if (!payload.ok()) return;
+  auto contribution = ContributionMsg::Decode(*payload);
+  if (!contribution.ok() || contribution->query_id != config_.query_id) {
+    return;
+  }
+  // Idempotence: a contributor that re-sends (store-and-forward replays)
+  // is only counted once.
+  if (!seen_contributors_.insert(contribution->contributor_key).second) {
+    return;
+  }
+  if (!have_schema_) {
+    buffer_ = data::Table(contribution->rows.schema());
+    have_schema_ = true;
+  }
+  for (const auto& row : contribution->rows.rows()) {
+    if (buffer_.num_rows() >= config_.quota) break;
+    buffer_.AppendUnchecked(row);
+    included_.push_back(contribution->contributor_key);
+  }
+  // Raw cleartext data is now inside this enclave: exposure accounting.
+  dev()->enclave().RecordClearTextTuples(
+      contribution->rows.num_rows(), buffer_.schema().num_columns());
+  MaybeEmit();
+}
+
+void SnapshotBuilderActor::MaybeEmit() {
+  if (complete_ || buffer_.num_rows() < config_.quota) return;
+  complete_ = true;
+  if (config_.trace != nullptr) {
+    config_.trace->Record(sim()->now(), TraceEventKind::kSnapshotComplete,
+                          dev()->id(), config_.partition, config_.vgroup,
+                          std::to_string(buffer_.num_rows()) + " tuples");
+  }
+  if (replica_->is_leader()) {
+    // Building the representative snapshot costs compute time on this
+    // device class before the slice goes out.
+    sim()->ScheduleAfter(dev()->ComputeCost(buffer_.num_rows()),
+                         [this]() { EmitSliceWithResends(); });
+  }
+}
+
+void SnapshotBuilderActor::EmitSliceWithResends() {
+  EmitSlice();
+  for (int i = 1; i <= config_.emission_resends; ++i) {
+    sim()->ScheduleAfter(
+        static_cast<SimDuration>(i) * config_.resend_interval,
+        [this]() { EmitSlice(); });
+  }
+}
+
+void SnapshotBuilderActor::EmitSlice() {
+  emitted_ = true;
+  if (config_.trace != nullptr) {
+    config_.trace->Record(sim()->now(), TraceEventKind::kSliceEmitted,
+                          dev()->id(), config_.partition, config_.vgroup);
+  }
+  SnapshotSliceMsg msg;
+  msg.query_id = config_.query_id;
+  msg.partition = config_.partition;
+  msg.vgroup = config_.vgroup;
+  msg.epoch = replica_->rank();
+  msg.rows = buffer_;
+  SealAndSendAll(config_.computers, kSnapshotSlice, msg.Encode());
+}
+
+}  // namespace edgelet::exec

@@ -1,0 +1,72 @@
+#ifndef EDGELET_EXEC_SNAPSHOT_BUILDER_H_
+#define EDGELET_EXEC_SNAPSHOT_BUILDER_H_
+
+#include <memory>
+#include <set>
+
+#include "exec/actor.h"
+#include "exec/replica.h"
+
+namespace edgelet::exec {
+
+// The Snapshot Builder of one (partition, vertical-group) chain: collects
+// that group's projections from contributors until the partition quota
+// (C/n tuples) is reached, then emits the slice to its Computer. Vertical
+// chains are independent — each samples its own representative C/n rows —
+// so a separated attribute pair never co-resides anywhere. With the Backup
+// strategy the actor is one replica of the chain's builder group; every
+// replica collects, only the leader emits, and a failover replica re-emits
+// its own snapshot under a new epoch (its rank).
+class SnapshotBuilderActor : public ActorBase {
+ public:
+  struct Config {
+    uint64_t query_id = 0;
+    uint32_t partition = 0;
+    uint32_t vgroup = 0;
+    uint64_t quota = 0;  // ceil(C/n)
+    // Rank-ordered replica group of this chain's Computer.
+    std::vector<net::NodeId> computers;
+    // Columns of this vertical group (what contributors send here).
+    std::vector<std::string> columns;
+    ReplicaRole::Config replica;
+    ExecutionTrace* trace = nullptr;
+    // Extra re-emissions of the slice (lossy links; computers dedup).
+    int emission_resends = 0;
+    SimDuration resend_interval = 15 * kSecond;
+  };
+
+  SnapshotBuilderActor(net::Simulator* sim, device::Device* dev,
+                       Config config);
+
+  void Start();
+
+  bool snapshot_complete() const { return complete_; }
+  uint64_t tuples_collected() const { return buffer_.num_rows(); }
+  // Contributor keys included in this builder's snapshot (validity audit).
+  const std::vector<uint64_t>& included_contributors() const {
+    return included_;
+  }
+  uint32_t rank() const { return replica_->rank(); }
+
+ protected:
+  void HandleMessage(const net::Message& msg) override;
+
+ private:
+  void OnContribution(const net::Message& msg);
+  void MaybeEmit();
+  void EmitSlice();
+  void EmitSliceWithResends();
+
+  Config config_;
+  std::unique_ptr<ReplicaRole> replica_;
+  data::Table buffer_;
+  bool have_schema_ = false;
+  bool complete_ = false;
+  bool emitted_ = false;
+  std::vector<uint64_t> included_;
+  std::set<uint64_t> seen_contributors_;
+};
+
+}  // namespace edgelet::exec
+
+#endif  // EDGELET_EXEC_SNAPSHOT_BUILDER_H_

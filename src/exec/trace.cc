@@ -1,0 +1,123 @@
+#include "exec/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace edgelet::exec {
+
+std::string_view TraceEventKindName(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kContributionSent:
+      return "contribution";
+    case TraceEventKind::kSnapshotComplete:
+      return "snapshot-complete";
+    case TraceEventKind::kSliceEmitted:
+      return "slice-emitted";
+    case TraceEventKind::kPartialEmitted:
+      return "partial-emitted";
+    case TraceEventKind::kKnowledgeBroadcast:
+      return "knowledge-broadcast";
+    case TraceEventKind::kPartitionComplete:
+      return "partition-complete";
+    case TraceEventKind::kResultEmitted:
+      return "result-emitted";
+    case TraceEventKind::kResultDelivered:
+      return "result-delivered";
+    case TraceEventKind::kDeviceKilled:
+      return "device-killed";
+    case TraceEventKind::kLeaderFailover:
+      return "leader-failover";
+  }
+  return "?";
+}
+
+void ExecutionTrace::Record(SimTime time, TraceEventKind kind,
+                            net::NodeId device, int partition, int vgroup,
+                            std::string detail) {
+  events_.push_back(
+      {time, kind, device, partition, vgroup, std::move(detail)});
+}
+
+size_t ExecutionTrace::CountOf(TraceEventKind kind) const {
+  return static_cast<size_t>(
+      std::count_if(events_.begin(), events_.end(),
+                    [kind](const TraceEvent& e) { return e.kind == kind; }));
+}
+
+std::string ExecutionTrace::ToTimeline(size_t max_events) const {
+  std::ostringstream out;
+  size_t contributions = CountOf(TraceEventKind::kContributionSent);
+  size_t broadcasts = CountOf(TraceEventKind::kKnowledgeBroadcast);
+  size_t shown = 0;
+  bool contributions_summarized = false;
+  bool broadcasts_summarized = false;
+  for (const auto& e : events_) {
+    // Bulk event classes are summarized once instead of flooding the
+    // timeline.
+    if (e.kind == TraceEventKind::kContributionSent && contributions > 8) {
+      if (!contributions_summarized) {
+        out << "[" << FormatSimTime(e.time) << "] collection phase: "
+            << contributions << " contributions flowing to the snapshot "
+            << "builders...\n";
+        contributions_summarized = true;
+      }
+      continue;
+    }
+    if (e.kind == TraceEventKind::kKnowledgeBroadcast && broadcasts > 8) {
+      if (!broadcasts_summarized) {
+        out << "[" << FormatSimTime(e.time) << "] computation phase: "
+            << broadcasts << " knowledge broadcasts between computers...\n";
+        broadcasts_summarized = true;
+      }
+      continue;
+    }
+    if (shown >= max_events) {
+      out << "... (" << events_.size() - shown << " more events)\n";
+      break;
+    }
+    out << "[" << FormatSimTime(e.time) << "] "
+        << TraceEventKindName(e.kind);
+    if (e.partition >= 0) out << " part=" << e.partition;
+    if (e.vgroup >= 0) out << " vgroup=" << e.vgroup;
+    if (e.device != 0) out << " @dev" << e.device;
+    if (!e.detail.empty()) out << " — " << e.detail;
+    out << "\n";
+    ++shown;
+  }
+  return out.str();
+}
+
+std::string ExecutionTrace::PhaseSummary() const {
+  struct Phase {
+    TraceEventKind kind;
+    const char* label;
+  };
+  const Phase phases[] = {
+      {TraceEventKind::kContributionSent, "collection (contributions)"},
+      {TraceEventKind::kSnapshotComplete, "snapshots complete"},
+      {TraceEventKind::kPartialEmitted, "computation (partials)"},
+      {TraceEventKind::kKnowledgeBroadcast, "K-Means sync broadcasts"},
+      {TraceEventKind::kPartitionComplete, "partitions combined"},
+      {TraceEventKind::kResultEmitted, "results emitted"},
+      {TraceEventKind::kResultDelivered, "result delivered"},
+      {TraceEventKind::kDeviceKilled, "devices killed"},
+      {TraceEventKind::kLeaderFailover, "leader failovers"},
+  };
+  std::ostringstream out;
+  for (const auto& phase : phases) {
+    SimTime first = kSimTimeNever, last = 0;
+    size_t count = 0;
+    for (const auto& e : events_) {
+      if (e.kind != phase.kind) continue;
+      first = std::min(first, e.time);
+      last = std::max(last, e.time);
+      ++count;
+    }
+    if (count == 0) continue;
+    out << "  " << phase.label << ": " << count << " event(s), "
+        << FormatSimTime(first) << " .. " << FormatSimTime(last) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace edgelet::exec

@@ -1,0 +1,153 @@
+#include "ml/metrics.h"
+
+#include <cmath>
+#include <limits>
+
+namespace edgelet::ml {
+
+Result<std::vector<int>> HungarianAssign(const Matrix& cost) {
+  const int n = static_cast<int>(cost.size());
+  if (n == 0) return Status::InvalidArgument("empty cost matrix");
+  for (const auto& row : cost) {
+    if (static_cast<int>(row.size()) != n) {
+      return Status::InvalidArgument("cost matrix must be square");
+    }
+  }
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // Kuhn-Munkres with potentials (1-indexed bookkeeping).
+  std::vector<double> u(n + 1, 0.0), v(n + 1, 0.0);
+  std::vector<int> p(n + 1, 0), way(n + 1, 0);
+  for (int i = 1; i <= n; ++i) {
+    p[0] = i;
+    int j0 = 0;
+    std::vector<double> minv(n + 1, kInf);
+    std::vector<char> used(n + 1, 0);
+    do {
+      used[j0] = 1;
+      int i0 = p[j0], j1 = -1;
+      double delta = kInf;
+      for (int j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        double cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (int j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      int j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+  std::vector<int> assignment(n, -1);
+  for (int j = 1; j <= n; ++j) {
+    if (p[j] > 0) assignment[p[j] - 1] = j - 1;
+  }
+  return assignment;
+}
+
+Result<double> MatchedCentroidRmse(const Matrix& a, const Matrix& b) {
+  if (a.size() != b.size() || a.empty()) {
+    return Status::InvalidArgument("centroid sets must match in size");
+  }
+  const size_t k = a.size();
+  Matrix cost(k, std::vector<double>(k));
+  for (size_t i = 0; i < k; ++i) {
+    if (a[i].size() != b[0].size()) {
+      return Status::InvalidArgument("centroid dimension mismatch");
+    }
+    for (size_t j = 0; j < k; ++j) {
+      cost[i][j] = SquaredDistance(a[i], b[j]);
+    }
+  }
+  auto assignment = HungarianAssign(cost);
+  if (!assignment.ok()) return assignment.status();
+  double total = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    total += cost[i][(*assignment)[i]];
+  }
+  const double dims = static_cast<double>(k * a[0].size());
+  return std::sqrt(total / dims);
+}
+
+Result<double> InertiaRatio(const Matrix& points, const Matrix& distributed,
+                            const Matrix& centralized) {
+  auto di = Inertia(points, distributed);
+  if (!di.ok()) return di.status();
+  auto ci = Inertia(points, centralized);
+  if (!ci.ok()) return ci.status();
+  if (*ci <= 0.0) {
+    return (*di <= 0.0) ? 1.0 : std::numeric_limits<double>::infinity();
+  }
+  return *di / *ci;
+}
+
+Result<std::vector<int>> AlignCentroids(const Matrix& base,
+                                        const Matrix& incoming) {
+  if (base.size() != incoming.size() || base.empty()) {
+    return Status::InvalidArgument("centroid sets must match in size");
+  }
+  const size_t k = base.size();
+  Matrix cost(k, std::vector<double>(k));
+  for (size_t i = 0; i < k; ++i) {
+    if (incoming[i].size() != base[0].size()) {
+      return Status::InvalidArgument("centroid dimension mismatch");
+    }
+    for (size_t j = 0; j < k; ++j) {
+      cost[i][j] = SquaredDistance(incoming[i], base[j]);
+    }
+  }
+  return HungarianAssign(cost);
+}
+
+KMeansKnowledge PermuteKnowledge(const KMeansKnowledge& in,
+                                 const std::vector<int>& perm) {
+  KMeansKnowledge out;
+  out.centroids.resize(in.centroids.size());
+  out.counts.resize(in.counts.size());
+  for (size_t i = 0; i < in.centroids.size(); ++i) {
+    size_t dst = (i < perm.size() && perm[i] >= 0 &&
+                  static_cast<size_t>(perm[i]) < in.centroids.size())
+                     ? static_cast<size_t>(perm[i])
+                     : i;
+    out.centroids[dst] = in.centroids[i];
+    out.counts[dst] = in.counts[i];
+  }
+  return out;
+}
+
+Result<double> RandIndex(const std::vector<int>& a,
+                         const std::vector<int>& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("assignment sizes differ");
+  }
+  const size_t n = a.size();
+  if (n < 2) return 1.0;
+  uint64_t agree = 0, total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      bool same_a = a[i] == a[j];
+      bool same_b = b[i] == b[j];
+      agree += (same_a == same_b);
+      ++total;
+    }
+  }
+  return static_cast<double>(agree) / static_cast<double>(total);
+}
+
+}  // namespace edgelet::ml

@@ -1,0 +1,40 @@
+#ifndef EDGELET_ML_METRICS_H_
+#define EDGELET_ML_METRICS_H_
+
+#include "ml/kmeans.h"
+
+namespace edgelet::ml {
+
+// Optimal assignment (Hungarian algorithm, O(n^3)) minimizing total cost of
+// a square cost matrix. Returns column assigned to each row.
+Result<std::vector<int>> HungarianAssign(const Matrix& cost);
+
+// RMSE between two centroid sets under the optimal (Hungarian) matching —
+// invariant to centroid index permutation, which differs between the
+// distributed and the centralized run.
+Result<double> MatchedCentroidRmse(const Matrix& a, const Matrix& b);
+
+// Ratio distributed_inertia / centralized_inertia on the same point set
+// (>= ~1.0; closer to 1 is better). The accuracy measure of the P2-KM
+// experiment.
+Result<double> InertiaRatio(const Matrix& points, const Matrix& distributed,
+                            const Matrix& centralized);
+
+// Clustering agreement between two assignments on the same points: the Rand
+// index in [0, 1] (1 = identical partitions).
+Result<double> RandIndex(const std::vector<int>& a, const std::vector<int>& b);
+
+// Optimal index alignment of `incoming` centroids onto `base`:
+// perm[i] = base index that incoming centroid i should take. Used by
+// federated K-Means sync — computers initialize independently, so centroid
+// indices are only comparable after matching.
+Result<std::vector<int>> AlignCentroids(const Matrix& base,
+                                        const Matrix& incoming);
+
+// Applies AlignCentroids' permutation: out[perm[i]] = in[i].
+KMeansKnowledge PermuteKnowledge(const KMeansKnowledge& in,
+                                 const std::vector<int>& perm);
+
+}  // namespace edgelet::ml
+
+#endif  // EDGELET_ML_METRICS_H_

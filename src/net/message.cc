@@ -1,0 +1,16 @@
+#include "net/message.h"
+
+#include "common/serialize.h"
+
+namespace edgelet::net {
+
+Bytes MessageAad(const Message& msg) {
+  Writer w;
+  w.PutU64(msg.from);
+  w.PutU64(msg.to);
+  w.PutU32(msg.type);
+  w.PutU64(msg.seq);
+  return w.Take();
+}
+
+}  // namespace edgelet::net

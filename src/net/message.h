@@ -1,0 +1,46 @@
+#ifndef EDGELET_NET_MESSAGE_H_
+#define EDGELET_NET_MESSAGE_H_
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace edgelet::net {
+
+using NodeId = uint64_t;
+constexpr NodeId kInvalidNode = 0;
+
+// Wire unit exchanged between edgelets. The routing header (from/to/type/
+// seq) travels in clear — the infrastructure needs it — while `payload` is
+// normally an AEAD-sealed blob only the destination enclave can open; the
+// header doubles as the AEAD associated data so it cannot be tampered with.
+struct Message {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  uint32_t type = 0;   // protocol message kind (exec/protocol.h)
+  uint64_t seq = 0;    // per-sender sequence; feeds the AEAD nonce
+  Bytes payload;
+
+  size_t WireSize() const {
+    // 8 (from) + 8 (to) + 4 (type) + 8 (seq) + payload.
+    return 28 + payload.size();
+  }
+};
+
+// The associated data binding the header to the sealed payload.
+Bytes MessageAad(const Message& msg);
+
+// Receiver-side callback interface. Nodes register with a Network and get
+// deliveries plus availability transitions (a home box powered back on, a
+// smartphone regaining coverage).
+class Node {
+ public:
+  virtual ~Node() = default;
+  virtual void OnMessage(const Message& msg) = 0;
+  virtual void OnOnline() {}
+  virtual void OnOffline() {}
+};
+
+}  // namespace edgelet::net
+
+#endif  // EDGELET_NET_MESSAGE_H_

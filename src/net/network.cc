@@ -1,0 +1,162 @@
+#include "net/network.h"
+
+#include <cassert>
+
+namespace edgelet::net {
+
+SimDuration LatencyModel::Sample(Rng& rng) const {
+  SimDuration extra = 0;
+  if (mean_extra > 0) {
+    double rate = 1.0 / static_cast<double>(mean_extra);
+    extra = static_cast<SimDuration>(rng.NextExponential(rate));
+  }
+  return min_latency + extra;
+}
+
+Network::Network(Simulator* sim, NetworkConfig config)
+    : sim_(sim), config_(config) {}
+
+NodeId Network::Register(Node* node, ChurnModel churn) {
+  NodeId id = next_id_++;
+  NodeState state;
+  state.node = node;
+  state.churn = churn;
+  state.online = churn.starts_online;
+  nodes_.emplace(id, std::move(state));
+  if (churn.mean_online > 0 && churn.mean_offline > 0) {
+    ScheduleChurnTransition(id);
+  }
+  return id;
+}
+
+void Network::ScheduleChurnTransition(NodeId id) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end() || it->second.dead) return;
+  const ChurnModel& churn = it->second.churn;
+  SimDuration mean = it->second.online ? churn.mean_online
+                                       : churn.mean_offline;
+  if (mean == 0) return;
+  double rate = 1.0 / static_cast<double>(mean);
+  SimDuration dwell =
+      static_cast<SimDuration>(sim_->rng().NextExponential(rate));
+  sim_->ScheduleAfter(dwell, [this, id]() {
+    auto it2 = nodes_.find(id);
+    if (it2 == nodes_.end() || it2->second.dead) return;
+    SetOnline(id, !it2->second.online);
+    ScheduleChurnTransition(id);
+  });
+}
+
+void Network::Send(Message msg) {
+  ++stats_.messages_sent;
+  stats_.bytes_sent += msg.WireSize();
+
+  auto from_it = nodes_.find(msg.from);
+  if (from_it == nodes_.end() || from_it->second.dead ||
+      !from_it->second.online) {
+    ++stats_.dropped_sender_offline;
+    return;
+  }
+  auto to_it = nodes_.find(msg.to);
+  if (to_it == nodes_.end() || to_it->second.dead) {
+    ++stats_.dropped_dead;
+    return;
+  }
+  if (config_.drop_probability > 0 &&
+      sim_->rng().NextBernoulli(config_.drop_probability)) {
+    ++stats_.dropped_random;
+    return;
+  }
+  SimDuration latency = config_.latency.Sample(sim_->rng());
+  if (config_.bytes_per_second > 0) {
+    // Serialization delay: payload bytes over the link throughput.
+    double seconds = static_cast<double>(msg.WireSize()) /
+                     static_cast<double>(config_.bytes_per_second);
+    latency += FromSeconds(seconds);
+  }
+  sim_->ScheduleAfter(latency, [this, msg = std::move(msg)]() mutable {
+    Deliver(std::move(msg));
+  });
+}
+
+void Network::Deliver(Message msg) {
+  auto it = nodes_.find(msg.to);
+  if (it == nodes_.end() || it->second.dead) {
+    ++stats_.dropped_dead;
+    return;
+  }
+  NodeState& state = it->second;
+  if (!state.online) {
+    if (config_.store_and_forward) {
+      state.mailbox.emplace_back(sim_->now(), std::move(msg));
+    } else {
+      ++stats_.dropped_receiver_offline;
+    }
+    return;
+  }
+  ++stats_.messages_delivered;
+  stats_.bytes_delivered += msg.WireSize();
+  state.node->OnMessage(msg);
+}
+
+void Network::Kill(NodeId id) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) return;
+  it->second.dead = true;
+  it->second.online = false;
+  it->second.mailbox.clear();
+}
+
+bool Network::IsDead(NodeId id) const {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() || it->second.dead;
+}
+
+void Network::SetOnline(NodeId id, bool online) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end() || it->second.dead) return;
+  if (it->second.online == online) return;
+  it->second.online = online;
+  if (online) {
+    it->second.node->OnOnline();
+    FlushMailbox(id);
+  } else {
+    it->second.node->OnOffline();
+  }
+}
+
+void Network::FlushMailbox(NodeId id) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) return;
+  NodeState& state = it->second;
+  std::vector<std::pair<SimTime, Message>> pending;
+  pending.swap(state.mailbox);
+  for (auto& [enqueued, msg] : pending) {
+    if (config_.mailbox_ttl > 0 &&
+        sim_->now() - enqueued > config_.mailbox_ttl) {
+      ++stats_.expired_in_mailbox;
+      continue;
+    }
+    // Re-check liveness: a delivery callback may have killed the node or
+    // pushed it offline again.
+    auto it2 = nodes_.find(id);
+    if (it2 == nodes_.end() || it2->second.dead) {
+      ++stats_.dropped_dead;
+      continue;
+    }
+    if (!it2->second.online) {
+      it2->second.mailbox.emplace_back(enqueued, std::move(msg));
+      continue;
+    }
+    ++stats_.messages_delivered;
+    stats_.bytes_delivered += msg.WireSize();
+    it2->second.node->OnMessage(msg);
+  }
+}
+
+bool Network::IsOnline(NodeId id) const {
+  auto it = nodes_.find(id);
+  return it != nodes_.end() && !it->second.dead && it->second.online;
+}
+
+}  // namespace edgelet::net

@@ -1,0 +1,117 @@
+#ifndef EDGELET_NET_NETWORK_H_
+#define EDGELET_NET_NETWORK_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "net/message.h"
+#include "net/simulator.h"
+
+namespace edgelet::net {
+
+// Latency model: fixed floor plus an exponential tail, which matches
+// uncertain edge communications far better than a Gaussian (long right
+// tail, never negative).
+struct LatencyModel {
+  SimDuration min_latency = 20 * kMillisecond;
+  // Mean of the exponential component added on top of min_latency.
+  SimDuration mean_extra = 80 * kMillisecond;
+
+  SimDuration Sample(Rng& rng) const;
+};
+
+// Per-node availability pattern. kAlwaysOn models a plugged-in PC;
+// kIntermittent alternates exponential online/offline periods (smartphone
+// churn); kOpportunistic is mostly-offline with brief contact windows —
+// the OppNet extreme the paper targets.
+struct ChurnModel {
+  SimDuration mean_online = 0;   // 0 => always on
+  SimDuration mean_offline = 0;  // 0 => never goes offline
+  bool starts_online = true;
+
+  static ChurnModel AlwaysOn() { return {}; }
+  static ChurnModel Intermittent(SimDuration mean_online,
+                                 SimDuration mean_offline) {
+    return {mean_online, mean_offline, true};
+  }
+};
+
+struct NetworkConfig {
+  LatencyModel latency;
+  // Link throughput in bytes/second; 0 = infinite (no serialization
+  // delay). Large payloads (snapshot slices) then take proportionally
+  // longer than control pings.
+  uint64_t bytes_per_second = 0;
+  // Probability that a message in flight is silently lost.
+  double drop_probability = 0.0;
+  // Store-and-forward: messages to an offline node wait in its mailbox and
+  // are delivered when it reconnects (opportunistic networking). When
+  // false, such messages are dropped.
+  bool store_and_forward = true;
+  // Messages older than this are purged from mailboxes (0 = keep forever).
+  SimDuration mailbox_ttl = 0;
+};
+
+struct NetworkStats {
+  uint64_t messages_sent = 0;
+  uint64_t messages_delivered = 0;
+  uint64_t dropped_random = 0;
+  uint64_t dropped_sender_offline = 0;
+  uint64_t dropped_receiver_offline = 0;
+  uint64_t dropped_dead = 0;
+  uint64_t expired_in_mailbox = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_delivered = 0;
+};
+
+// Simulated communication fabric between edgelets. Delivery is
+// point-to-point with sampled latency, random loss, churn-awareness, and
+// optional store-and-forward for opportunistic delivery.
+class Network {
+ public:
+  Network(Simulator* sim, NetworkConfig config);
+
+  // Registers a node and returns its id (ids start at 1).
+  NodeId Register(Node* node, ChurnModel churn = ChurnModel::AlwaysOn());
+
+  // Sends msg.from -> msg.to. Messages from offline or dead nodes are lost.
+  void Send(Message msg);
+
+  // Permanently removes a node from the network (device failure / power
+  // off). Pending deliveries to it are dropped.
+  void Kill(NodeId id);
+  bool IsDead(NodeId id) const;
+
+  // Forced availability control (demo-style "power off this box").
+  void SetOnline(NodeId id, bool online);
+  bool IsOnline(NodeId id) const;
+
+  const NetworkStats& stats() const { return stats_; }
+  Simulator* simulator() { return sim_; }
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct NodeState {
+    Node* node = nullptr;
+    bool online = true;
+    bool dead = false;
+    ChurnModel churn;
+    // (enqueue time, message) waiting for the node to come back online.
+    std::vector<std::pair<SimTime, Message>> mailbox;
+  };
+
+  void Deliver(Message msg);
+  void ScheduleChurnTransition(NodeId id);
+  void FlushMailbox(NodeId id);
+
+  Simulator* sim_;
+  NetworkConfig config_;
+  std::unordered_map<NodeId, NodeState> nodes_;
+  NodeId next_id_ = 1;
+  NetworkStats stats_;
+};
+
+}  // namespace edgelet::net
+
+#endif  // EDGELET_NET_NETWORK_H_

@@ -1,0 +1,57 @@
+#include "net/simulator.h"
+
+#include <cassert>
+
+namespace edgelet::net {
+
+Simulator::Simulator(uint64_t seed) : rng_(seed) {}
+
+uint64_t Simulator::ScheduleAt(SimTime t, std::function<void()> fn) {
+  assert(t >= now_);
+  if (t < now_) t = now_;
+  uint64_t id = next_id_++;
+  queue_.push(Event{t, id, std::move(fn)});
+  pending_ids_.insert(id);
+  return id;
+}
+
+uint64_t Simulator::ScheduleAfter(SimDuration delay, std::function<void()> fn) {
+  SimTime t = (delay > kSimTimeNever - now_) ? kSimTimeNever : now_ + delay;
+  return ScheduleAt(t, std::move(fn));
+}
+
+bool Simulator::Cancel(uint64_t event_id) {
+  // Only events still pending can be cancelled; Cancel after execution is a
+  // no-op returning false.
+  return pending_ids_.erase(event_id) > 0;
+}
+
+bool Simulator::Step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (pending_ids_.erase(ev.id) == 0) continue;  // cancelled
+    now_ = ev.time;
+    ++events_executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+size_t Simulator::RunUntil(SimTime until) {
+  size_t executed = 0;
+  for (;;) {
+    // Drop cancelled events from the head so the peek below is accurate.
+    while (!queue_.empty() && pending_ids_.count(queue_.top().id) == 0) {
+      queue_.pop();
+    }
+    if (queue_.empty()) break;
+    if (queue_.top().time > until) break;
+    if (!Step()) break;
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace edgelet::net

@@ -1,0 +1,73 @@
+#ifndef EDGELET_NET_SIMULATOR_H_
+#define EDGELET_NET_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sim_time.h"
+
+namespace edgelet::net {
+
+// Single-threaded discrete-event simulator. Events execute in (time, FIFO)
+// order; ties break by scheduling order so runs are fully deterministic for
+// a given seed. All Edgelet executions — heartbeats, message deliveries,
+// churn transitions, deadlines — are events on this queue.
+class Simulator {
+ public:
+  explicit Simulator(uint64_t seed = 1);
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+  Rng& rng() { return rng_; }
+
+  // Schedules `fn` at absolute time `t` (>= now). Returns an event id that
+  // can be cancelled.
+  uint64_t ScheduleAt(SimTime t, std::function<void()> fn);
+  uint64_t ScheduleAfter(SimDuration delay, std::function<void()> fn);
+
+  // Cancels a pending event; returns false if it already ran or was
+  // cancelled.
+  bool Cancel(uint64_t event_id);
+
+  // Executes one event; returns false if the queue is empty.
+  bool Step();
+
+  // Runs until the queue drains or the next event is past `until`.
+  // Returns the number of events executed.
+  size_t RunUntil(SimTime until);
+  size_t Run() { return RunUntil(kSimTimeNever); }
+
+  size_t events_executed() const { return events_executed_; }
+  size_t pending_events() const { return pending_ids_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t id;  // also the tie-breaker: monotonically increasing
+    std::function<void()> fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_id_ = 1;
+  size_t events_executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  // Ids scheduled but not yet executed or cancelled.
+  std::unordered_set<uint64_t> pending_ids_;
+  Rng rng_;
+};
+
+}  // namespace edgelet::net
+
+#endif  // EDGELET_NET_SIMULATOR_H_

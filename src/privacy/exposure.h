@@ -1,0 +1,54 @@
+#ifndef EDGELET_PRIVACY_EXPOSURE_H_
+#define EDGELET_PRIVACY_EXPOSURE_H_
+
+#include <string>
+#include <vector>
+
+#include "privacy/vertical_partitioner.h"
+#include "query/qep.h"
+
+namespace edgelet::privacy {
+
+// Threat model: a sealed-glass TEE compromise (integrity preserved,
+// confidentiality lost) on one Data Processor edgelet reveals every raw
+// tuple that edgelet decrypts. Horizontal partitioning bounds the tuple
+// count per edgelet to C/n; vertical partitioning bounds which attributes
+// co-reside. Exposure accounting quantifies both (demo §3.3 Q3).
+struct OperatorExposure {
+  uint64_t vertex_id = 0;
+  std::string role;
+  // Raw (pre-aggregation) tuples decrypted by the operator.
+  uint64_t tuples = 0;
+  // Attributes visible in cleartext.
+  size_t num_attributes = 0;
+  // tuples * num_attributes.
+  uint64_t cells = 0;
+};
+
+struct ExposureReport {
+  std::vector<OperatorExposure> per_operator;
+  // Worst single-edgelet exposure (the number an attacker gains by
+  // compromising the most exposed device).
+  uint64_t max_tuples_per_edgelet = 0;
+  uint64_t max_cells_per_edgelet = 0;
+  uint64_t total_cells = 0;
+  // Fraction of the snapshot an attacker sees by compromising one edgelet.
+  double worst_snapshot_fraction = 0.0;
+
+  std::string ToString() const;
+};
+
+// Static (plan-time) exposure analysis: assumes every snapshot partition
+// reaches its quota C/n. Aggregated operators (combiner, querier) see only
+// aggregates, hence zero raw tuples (paper: "only the results of the
+// computations, i.e. the aggregated data, are sent").
+ExposureReport ComputeExposure(const query::Qep& qep,
+                               uint64_t snapshot_cardinality);
+
+// Verifies no operator of the plan sees a forbidden attribute pair.
+Status ValidateSeparation(const query::Qep& qep,
+                          const std::vector<SeparationConstraint>& constraints);
+
+}  // namespace edgelet::privacy
+
+#endif  // EDGELET_PRIVACY_EXPOSURE_H_

@@ -1,0 +1,85 @@
+#include "privacy/vertical_partitioner.h"
+
+#include <algorithm>
+
+namespace edgelet::privacy {
+
+namespace {
+
+bool Contains(const std::vector<std::string>& v, const std::string& s) {
+  return std::find(v.begin(), v.end(), s) != v.end();
+}
+
+std::vector<std::string> Union(const std::vector<std::string>& a,
+                               const std::vector<std::string>& b) {
+  std::vector<std::string> out = a;
+  for (const auto& s : b) {
+    if (!Contains(out, s)) out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace
+
+bool ViolatesSeparation(const std::vector<std::string>& attributes,
+                        const std::vector<SeparationConstraint>& constraints) {
+  for (const auto& c : constraints) {
+    if (Contains(attributes, c.a) && Contains(attributes, c.b)) return true;
+  }
+  return false;
+}
+
+Result<VerticalPartitioningResult> PartitionAttributes(
+    const std::vector<CoAccessSet>& co_access_sets,
+    const std::vector<SeparationConstraint>& constraints,
+    size_t max_attributes_per_group) {
+  VerticalPartitioningResult result;
+  result.set_to_group.resize(co_access_sets.size());
+
+  for (size_t i = 0; i < co_access_sets.size(); ++i) {
+    // Deduplicate the set.
+    std::vector<std::string> set;
+    for (const auto& a : co_access_sets[i]) {
+      if (!Contains(set, a)) set.push_back(a);
+    }
+    if (ViolatesSeparation(set, constraints)) {
+      std::string names;
+      for (const auto& a : set) names += a + " ";
+      return Status::FailedPrecondition(
+          "co-access set {" + names +
+          "} requires attributes that a separation constraint forbids "
+          "together; relax the constraint or rewrite the query");
+    }
+    // First-fit: merge into the first existing group whose union stays
+    // legal and within the size cap.
+    bool placed = false;
+    for (size_t g = 0; g < result.groups.size(); ++g) {
+      std::vector<std::string> merged = Union(result.groups[g], set);
+      if (ViolatesSeparation(merged, constraints)) continue;
+      if (max_attributes_per_group > 0 &&
+          merged.size() > max_attributes_per_group) {
+        continue;
+      }
+      result.groups[g] = std::move(merged);
+      result.set_to_group[i] = g;
+      placed = true;
+      break;
+    }
+    if (!placed) {
+      if (max_attributes_per_group > 0 &&
+          set.size() > max_attributes_per_group) {
+        return Status::FailedPrecondition(
+            "co-access set larger than max_attributes_per_group");
+      }
+      result.groups.push_back(set);
+      result.set_to_group[i] = result.groups.size() - 1;
+    }
+  }
+
+  if (result.groups.empty()) {
+    return Status::InvalidArgument("no co-access sets given");
+  }
+  return result;
+}
+
+}  // namespace edgelet::privacy

@@ -1,0 +1,51 @@
+#ifndef EDGELET_PRIVACY_VERTICAL_PARTITIONER_H_
+#define EDGELET_PRIVACY_VERTICAL_PARTITIONER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace edgelet::privacy {
+
+// A pair of attributes that becomes sensitive when combined (a
+// quasi-identifier, e.g. {age, region}): no single edgelet may ever hold
+// both in cleartext (paper §2.1 — vertical partitioning "precludes the
+// concomitant exposure of data items that become sensitive when combined").
+struct SeparationConstraint {
+  std::string a;
+  std::string b;
+};
+
+// Attribute sets that MUST co-reside because one computation reads them
+// together (e.g. the key and aggregate columns of one grouping set).
+using CoAccessSet = std::vector<std::string>;
+
+struct VerticalPartitioningResult {
+  // One attribute group per Computer "column" of the plan. Attributes may
+  // appear in several groups; separated pairs never share a group.
+  std::vector<std::vector<std::string>> groups;
+  // groups index for each co-access set i.
+  std::vector<size_t> set_to_group;
+};
+
+// Builds vertical attribute groups:
+//   1. every co-access set lands entirely inside one group;
+//   2. no group contains both sides of any separation constraint;
+//   3. groups are greedily merged (first-fit) to minimize the number of
+//      computers, subject to (2) and to max_attributes_per_group (0 = no
+//      cap).
+// Fails if some co-access set itself violates a constraint — then the query
+// is incompatible with the requested privacy level.
+Result<VerticalPartitioningResult> PartitionAttributes(
+    const std::vector<CoAccessSet>& co_access_sets,
+    const std::vector<SeparationConstraint>& constraints,
+    size_t max_attributes_per_group = 0);
+
+// True iff `attributes` contains both endpoints of some constraint.
+bool ViolatesSeparation(const std::vector<std::string>& attributes,
+                        const std::vector<SeparationConstraint>& constraints);
+
+}  // namespace edgelet::privacy
+
+#endif  // EDGELET_PRIVACY_VERTICAL_PARTITIONER_H_

@@ -1,0 +1,245 @@
+#include "query/aggregate.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace edgelet::query {
+
+std::string_view AggregateFunctionName(AggregateFunction fn) {
+  switch (fn) {
+    case AggregateFunction::kCount:
+      return "COUNT";
+    case AggregateFunction::kSum:
+      return "SUM";
+    case AggregateFunction::kMin:
+      return "MIN";
+    case AggregateFunction::kMax:
+      return "MAX";
+    case AggregateFunction::kAvg:
+      return "AVG";
+    case AggregateFunction::kVariance:
+      return "VAR";
+    case AggregateFunction::kStdDev:
+      return "STDDEV";
+    case AggregateFunction::kCountDistinct:
+      return "COUNT_DISTINCT";
+    case AggregateFunction::kQuantile:
+      return "Q";
+  }
+  return "?";
+}
+
+bool AggregateYieldsInteger(AggregateFunction fn) {
+  return fn == AggregateFunction::kCount ||
+         fn == AggregateFunction::kCountDistinct;
+}
+
+std::string AggregateSpec::OutputName() const {
+  if (fn == AggregateFunction::kQuantile) {
+    return "Q" + std::to_string(static_cast<int>(std::lround(
+               parameter * 100))) + "(" + column + ")";
+  }
+  return std::string(AggregateFunctionName(fn)) + "(" + column + ")";
+}
+
+void AggregateSpec::Serialize(Writer* w) const {
+  w->PutU8(static_cast<uint8_t>(fn));
+  w->PutString(column);
+  w->PutDouble(parameter);
+}
+
+Result<AggregateSpec> AggregateSpec::Deserialize(Reader* r) {
+  auto fn = r->GetU8();
+  if (!fn.ok()) return fn.status();
+  if (*fn > static_cast<uint8_t>(AggregateFunction::kQuantile)) {
+    return Status::Corruption("bad aggregate function tag");
+  }
+  auto column = r->GetString();
+  if (!column.ok()) return column.status();
+  auto parameter = r->GetDouble();
+  if (!parameter.ok()) return parameter.status();
+  return AggregateSpec{static_cast<AggregateFunction>(*fn),
+                       std::move(*column), *parameter};
+}
+
+Status AggregateState::Add(const data::Value& v, bool count_star) {
+  if (v.is_null()) {
+    if (count_star) ++count_;
+    return Status::OK();
+  }
+  ++count_;
+  if (v.type() == data::ValueType::kString) {
+    // Strings only support COUNT; numeric accumulators stay untouched.
+    return Status::OK();
+  }
+  auto d = v.ToDouble();
+  if (!d.ok()) return d.status();
+  if (!has_numeric_) {
+    min_ = max_ = *d;
+    has_numeric_ = true;
+  } else {
+    min_ = std::min(min_, *d);
+    max_ = std::max(max_, *d);
+  }
+  sum_ += *d;
+  sum_sq_ += *d * *d;
+  return Status::OK();
+}
+
+void AggregateState::AddDistinct(const data::Value& v) {
+  if (v.is_null()) return;
+  if (!hll_.has_value()) hll_.emplace();
+  hll_->AddHash(v.Hash());
+  ++count_;
+}
+
+Status AggregateState::AddQuantile(const data::Value& v) {
+  if (v.is_null()) return Status::OK();
+  auto d = v.ToDouble();
+  if (!d.ok()) return d.status();
+  if (!sketch_.has_value()) sketch_.emplace();
+  sketch_->Add(*d);
+  ++count_;
+  return Status::OK();
+}
+
+void AggregateState::Merge(const AggregateState& other) {
+  count_ += other.count_;
+  if (other.sketch_.has_value()) {
+    if (!sketch_.has_value()) {
+      sketch_ = other.sketch_;
+    } else {
+      (void)sketch_->Merge(*other.sketch_);
+    }
+  }
+  if (other.hll_.has_value()) {
+    if (!hll_.has_value()) {
+      hll_ = other.hll_;
+    } else {
+      (void)hll_->Merge(*other.hll_);
+    }
+  }
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+  if (other.has_numeric_) {
+    if (!has_numeric_) {
+      min_ = other.min_;
+      max_ = other.max_;
+      has_numeric_ = true;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+  }
+}
+
+data::Value AggregateState::Finalize(const AggregateSpec& spec) const {
+  if (spec.fn == AggregateFunction::kQuantile) {
+    if (!sketch_.has_value()) return data::Value::Null();
+    auto q = sketch_->Quantile(spec.parameter);
+    if (!q.ok()) return data::Value::Null();
+    return data::Value(*q);
+  }
+  return Finalize(spec.fn);
+}
+
+data::Value AggregateState::Finalize(AggregateFunction fn) const {
+  switch (fn) {
+    case AggregateFunction::kCount:
+      return data::Value(static_cast<int64_t>(count_));
+    case AggregateFunction::kSum:
+      if (!has_numeric_) return data::Value::Null();
+      return data::Value(sum_);
+    case AggregateFunction::kMin:
+      if (!has_numeric_) return data::Value::Null();
+      return data::Value(min_);
+    case AggregateFunction::kMax:
+      if (!has_numeric_) return data::Value::Null();
+      return data::Value(max_);
+    case AggregateFunction::kAvg:
+      if (!has_numeric_ || count_ == 0) return data::Value::Null();
+      return data::Value(sum_ / static_cast<double>(count_));
+    case AggregateFunction::kVariance: {
+      if (!has_numeric_ || count_ == 0) return data::Value::Null();
+      double mean = sum_ / static_cast<double>(count_);
+      double var = sum_sq_ / static_cast<double>(count_) - mean * mean;
+      return data::Value(std::max(var, 0.0));
+    }
+    case AggregateFunction::kStdDev: {
+      data::Value var = Finalize(AggregateFunction::kVariance);
+      if (var.is_null()) return var;
+      return data::Value(std::sqrt(var.AsDouble()));
+    }
+    case AggregateFunction::kCountDistinct: {
+      if (!hll_.has_value()) return data::Value(int64_t{0});
+      return data::Value(
+          static_cast<int64_t>(std::llround(hll_->Estimate())));
+    }
+    case AggregateFunction::kQuantile: {
+      if (!sketch_.has_value()) return data::Value::Null();
+      auto q = sketch_->Quantile(0.5);
+      if (!q.ok()) return data::Value::Null();
+      return data::Value(*q);
+    }
+  }
+  return data::Value::Null();
+}
+
+void AggregateState::Serialize(Writer* w) const {
+  w->PutVarint(count_);
+  w->PutDouble(sum_);
+  w->PutDouble(sum_sq_);
+  w->PutDouble(min_);
+  w->PutDouble(max_);
+  w->PutBool(has_numeric_);
+  w->PutBool(hll_.has_value());
+  if (hll_.has_value()) hll_->Serialize(w);
+  w->PutBool(sketch_.has_value());
+  if (sketch_.has_value()) sketch_->Serialize(w);
+}
+
+Result<AggregateState> AggregateState::Deserialize(Reader* r) {
+  AggregateState s;
+  auto count = r->GetVarint();
+  if (!count.ok()) return count.status();
+  s.count_ = *count;
+  auto sum = r->GetDouble();
+  if (!sum.ok()) return sum.status();
+  s.sum_ = *sum;
+  auto sum_sq = r->GetDouble();
+  if (!sum_sq.ok()) return sum_sq.status();
+  s.sum_sq_ = *sum_sq;
+  auto min = r->GetDouble();
+  if (!min.ok()) return min.status();
+  s.min_ = *min;
+  auto max = r->GetDouble();
+  if (!max.ok()) return max.status();
+  s.max_ = *max;
+  auto has = r->GetBool();
+  if (!has.ok()) return has.status();
+  s.has_numeric_ = *has;
+  auto has_hll = r->GetBool();
+  if (!has_hll.ok()) return has_hll.status();
+  if (*has_hll) {
+    auto hll = HyperLogLog::Deserialize(r);
+    if (!hll.ok()) return hll.status();
+    s.hll_ = std::move(*hll);
+  }
+  auto has_sketch = r->GetBool();
+  if (!has_sketch.ok()) return has_sketch.status();
+  if (*has_sketch) {
+    auto sketch = QuantileSketch::Deserialize(r);
+    if (!sketch.ok()) return sketch.status();
+    s.sketch_ = std::move(*sketch);
+  }
+  return s;
+}
+
+bool AggregateState::operator==(const AggregateState& other) const {
+  return count_ == other.count_ && sum_ == other.sum_ &&
+         sum_sq_ == other.sum_sq_ && min_ == other.min_ &&
+         max_ == other.max_ && has_numeric_ == other.has_numeric_ &&
+         hll_ == other.hll_ && sketch_ == other.sketch_;
+}
+
+}  // namespace edgelet::query

@@ -1,0 +1,189 @@
+#include "query/groupby.h"
+
+namespace edgelet::query {
+
+namespace {
+
+Bytes SerializeKey(const data::Tuple& key) {
+  Writer w;
+  for (const auto& v : key) v.Serialize(&w);
+  return w.Take();
+}
+
+}  // namespace
+
+void GroupBySpec::Serialize(Writer* w) const {
+  w->PutVarint(keys.size());
+  for (const auto& k : keys) w->PutString(k);
+  w->PutVarint(aggregates.size());
+  for (const auto& a : aggregates) a.Serialize(w);
+}
+
+Result<GroupBySpec> GroupBySpec::Deserialize(Reader* r) {
+  GroupBySpec spec;
+  auto nk = r->GetVarint();
+  if (!nk.ok()) return nk.status();
+  for (uint64_t i = 0; i < *nk; ++i) {
+    auto k = r->GetString();
+    if (!k.ok()) return k.status();
+    spec.keys.push_back(std::move(*k));
+  }
+  auto na = r->GetVarint();
+  if (!na.ok()) return na.status();
+  for (uint64_t i = 0; i < *na; ++i) {
+    auto a = AggregateSpec::Deserialize(r);
+    if (!a.ok()) return a.status();
+    spec.aggregates.push_back(std::move(*a));
+  }
+  return spec;
+}
+
+Result<GroupedAggregation> GroupedAggregation::Compute(
+    const data::Table& table, const GroupBySpec& spec) {
+  GroupedAggregation out(spec);
+  const data::Schema& schema = table.schema();
+
+  std::vector<size_t> key_idx;
+  key_idx.reserve(spec.keys.size());
+  for (const auto& k : spec.keys) {
+    auto idx = schema.IndexOf(k);
+    if (!idx.ok()) return idx.status();
+    key_idx.push_back(*idx);
+  }
+  // -1 == COUNT(*): no input column.
+  std::vector<int> agg_idx;
+  agg_idx.reserve(spec.aggregates.size());
+  for (const auto& a : spec.aggregates) {
+    if (a.column == "*") {
+      if (a.fn != AggregateFunction::kCount) {
+        return Status::InvalidArgument("'*' only valid with COUNT");
+      }
+      agg_idx.push_back(-1);
+    } else {
+      auto idx = schema.IndexOf(a.column);
+      if (!idx.ok()) return idx.status();
+      agg_idx.push_back(static_cast<int>(*idx));
+    }
+  }
+
+  for (const auto& row : table.rows()) {
+    data::Tuple key;
+    key.reserve(key_idx.size());
+    for (size_t i : key_idx) key.push_back(row[i]);
+    Bytes key_bytes = SerializeKey(key);
+    auto [it, inserted] = out.groups_.try_emplace(std::move(key_bytes));
+    if (inserted) {
+      it->second.key = std::move(key);
+      it->second.states.resize(spec.aggregates.size());
+    }
+    for (size_t a = 0; a < spec.aggregates.size(); ++a) {
+      if (agg_idx[a] < 0) {
+        EDGELET_RETURN_NOT_OK(
+            it->second.states[a].Add(data::Value::Null(), /*count_star=*/true));
+      } else if (spec.aggregates[a].fn == AggregateFunction::kCountDistinct) {
+        it->second.states[a].AddDistinct(row[agg_idx[a]]);
+      } else if (spec.aggregates[a].fn == AggregateFunction::kQuantile) {
+        EDGELET_RETURN_NOT_OK(
+            it->second.states[a].AddQuantile(row[agg_idx[a]]));
+      } else {
+        EDGELET_RETURN_NOT_OK(it->second.states[a].Add(row[agg_idx[a]]));
+      }
+    }
+  }
+  return out;
+}
+
+Status GroupedAggregation::Merge(const GroupedAggregation& other) {
+  if (!(spec_ == other.spec_)) {
+    // A default-constructed accumulator adopts the first spec it sees.
+    if (spec_.keys.empty() && spec_.aggregates.empty() && groups_.empty()) {
+      spec_ = other.spec_;
+    } else {
+      return Status::InvalidArgument("cannot merge: GroupBy specs differ");
+    }
+  }
+  for (const auto& [key_bytes, group] : other.groups_) {
+    auto [it, inserted] = groups_.try_emplace(key_bytes);
+    if (inserted) {
+      it->second = group;
+    } else {
+      for (size_t i = 0; i < group.states.size(); ++i) {
+        it->second.states[i].Merge(group.states[i]);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+data::Table GroupedAggregation::Finalize() const {
+  std::vector<data::Column> cols;
+  for (const auto& k : spec_.keys) {
+    // Key output type is whatever the values carry; declare as the type of
+    // the first group's value (NULL-safe default: STRING).
+    cols.push_back({k, data::ValueType::kString});
+  }
+  for (const auto& a : spec_.aggregates) {
+    data::ValueType t = AggregateYieldsInteger(a.fn)
+                            ? data::ValueType::kInt64
+                            : data::ValueType::kDouble;
+    cols.push_back({a.OutputName(), t});
+  }
+  // Fix key column types from observed data.
+  if (!groups_.empty()) {
+    const auto& first = groups_.begin()->second.key;
+    for (size_t i = 0; i < first.size(); ++i) {
+      if (!first[i].is_null()) cols[i].type = first[i].type();
+    }
+  }
+
+  data::Table out{data::Schema(std::move(cols))};
+  for (const auto& [key_bytes, group] : groups_) {
+    data::Tuple row = group.key;
+    for (size_t i = 0; i < spec_.aggregates.size(); ++i) {
+      row.push_back(group.states[i].Finalize(spec_.aggregates[i]));
+    }
+    out.AppendUnchecked(std::move(row));
+  }
+  return out;
+}
+
+void GroupedAggregation::Serialize(Writer* w) const {
+  spec_.Serialize(w);
+  w->PutVarint(groups_.size());
+  for (const auto& [key_bytes, group] : groups_) {
+    w->PutVarint(group.key.size());
+    for (const auto& v : group.key) v.Serialize(w);
+    w->PutVarint(group.states.size());
+    for (const auto& s : group.states) s.Serialize(w);
+  }
+}
+
+Result<GroupedAggregation> GroupedAggregation::Deserialize(Reader* r) {
+  auto spec = GroupBySpec::Deserialize(r);
+  if (!spec.ok()) return spec.status();
+  GroupedAggregation out(std::move(*spec));
+  auto n = r->GetVarint();
+  if (!n.ok()) return n.status();
+  for (uint64_t g = 0; g < *n; ++g) {
+    Group group;
+    auto nk = r->GetVarint();
+    if (!nk.ok()) return nk.status();
+    for (uint64_t i = 0; i < *nk; ++i) {
+      auto v = data::Value::Deserialize(r);
+      if (!v.ok()) return v.status();
+      group.key.push_back(std::move(*v));
+    }
+    auto ns = r->GetVarint();
+    if (!ns.ok()) return ns.status();
+    for (uint64_t i = 0; i < *ns; ++i) {
+      auto s = AggregateState::Deserialize(r);
+      if (!s.ok()) return s.status();
+      group.states.push_back(std::move(*s));
+    }
+    Bytes key_bytes = SerializeKey(group.key);
+    out.groups_.emplace(std::move(key_bytes), std::move(group));
+  }
+  return out;
+}
+
+}  // namespace edgelet::query

@@ -1,0 +1,65 @@
+#ifndef EDGELET_QUERY_GROUPBY_H_
+#define EDGELET_QUERY_GROUPBY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+#include "query/aggregate.h"
+
+namespace edgelet::query {
+
+// GROUP BY <keys> with a list of aggregates.
+struct GroupBySpec {
+  std::vector<std::string> keys;  // empty => single global group
+  std::vector<AggregateSpec> aggregates;
+
+  void Serialize(Writer* w) const;
+  static Result<GroupBySpec> Deserialize(Reader* r);
+  bool operator==(const GroupBySpec& other) const {
+    return keys == other.keys && aggregates == other.aggregates;
+  }
+};
+
+// Mergeable partial result of a grouped aggregation: per-group algebraic
+// states. Computers produce these on their partitions; the Computing
+// Combiner merges them, and merging is exact (validity property).
+class GroupedAggregation {
+ public:
+  GroupedAggregation() = default;
+  explicit GroupedAggregation(GroupBySpec spec) : spec_(std::move(spec)) {}
+
+  const GroupBySpec& spec() const { return spec_; }
+
+  // Aggregates every row of `table` (which must contain all key and
+  // aggregate columns).
+  static Result<GroupedAggregation> Compute(const data::Table& table,
+                                            const GroupBySpec& spec);
+
+  // Merges a partial result from another partition; specs must match.
+  Status Merge(const GroupedAggregation& other);
+
+  size_t num_groups() const { return groups_.size(); }
+
+  // Finalized table: key columns then one column per aggregate, rows in
+  // deterministic key order.
+  data::Table Finalize() const;
+
+  void Serialize(Writer* w) const;
+  static Result<GroupedAggregation> Deserialize(Reader* r);
+
+ private:
+  struct Group {
+    data::Tuple key;
+    std::vector<AggregateState> states;
+  };
+
+  GroupBySpec spec_;
+  // Keyed by the serialized key tuple => deterministic iteration order.
+  std::map<Bytes, Group> groups_;
+};
+
+}  // namespace edgelet::query
+
+#endif  // EDGELET_QUERY_GROUPBY_H_

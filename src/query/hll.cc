@@ -1,0 +1,106 @@
+#include "query/hll.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace edgelet::query {
+
+namespace {
+
+double AlphaM(size_t m) {
+  // Bias-correction constants from the HLL paper.
+  if (m == 16) return 0.673;
+  if (m == 32) return 0.697;
+  if (m == 64) return 0.709;
+  return 0.7213 / (1.0 + 1.079 / static_cast<double>(m));
+}
+
+}  // namespace
+
+HyperLogLog::HyperLogLog(int precision)
+    : precision_(std::clamp(precision, 4, 16)),
+      registers_(static_cast<size_t>(1) << precision_, 0) {}
+
+void HyperLogLog::AddHash(uint64_t hash) {
+  // Top `precision_` bits select the register; the rank of the first set
+  // bit of the remainder is the observation.
+  const size_t index = static_cast<size_t>(hash >> (64 - precision_));
+  const uint64_t rest = hash << precision_;
+  // rank = leading zeros of the remaining (64 - p) bits, + 1; a zero
+  // remainder yields the maximum rank.
+  uint8_t rank;
+  if (rest == 0) {
+    rank = static_cast<uint8_t>(64 - precision_ + 1);
+  } else {
+    rank = static_cast<uint8_t>(__builtin_clzll(rest) + 1);
+  }
+  registers_[index] = std::max(registers_[index], rank);
+}
+
+Status HyperLogLog::Merge(const HyperLogLog& other) {
+  if (precision_ != other.precision_) {
+    return Status::InvalidArgument("HLL precision mismatch: " +
+                                   std::to_string(precision_) + " vs " +
+                                   std::to_string(other.precision_));
+  }
+  for (size_t i = 0; i < registers_.size(); ++i) {
+    registers_[i] = std::max(registers_[i], other.registers_[i]);
+  }
+  return Status::OK();
+}
+
+double HyperLogLog::Estimate() const {
+  const double m = static_cast<double>(registers_.size());
+  double sum = 0.0;
+  size_t zeros = 0;
+  for (uint8_t r : registers_) {
+    sum += std::ldexp(1.0, -static_cast<int>(r));
+    if (r == 0) ++zeros;
+  }
+  double raw = AlphaM(registers_.size()) * m * m / sum;
+  if (raw <= 2.5 * m && zeros > 0) {
+    // Small-range correction: linear counting.
+    return m * std::log(m / static_cast<double>(zeros));
+  }
+  return raw;
+}
+
+void HyperLogLog::Serialize(Writer* w) const {
+  w->PutU8(static_cast<uint8_t>(precision_));
+  // Run-length encode: sketches from small partitions are mostly zero.
+  size_t i = 0;
+  while (i < registers_.size()) {
+    uint8_t value = registers_[i];
+    size_t run = 1;
+    while (i + run < registers_.size() && registers_[i + run] == value) {
+      ++run;
+    }
+    w->PutU8(value);
+    w->PutVarint(run);
+    i += run;
+  }
+}
+
+Result<HyperLogLog> HyperLogLog::Deserialize(Reader* r) {
+  auto precision = r->GetU8();
+  if (!precision.ok()) return precision.status();
+  if (*precision < 4 || *precision > 16) {
+    return Status::Corruption("bad HLL precision");
+  }
+  HyperLogLog out(*precision);
+  size_t i = 0;
+  while (i < out.registers_.size()) {
+    auto value = r->GetU8();
+    if (!value.ok()) return value.status();
+    auto run = r->GetVarint();
+    if (!run.ok()) return run.status();
+    if (*run == 0 || i + *run > out.registers_.size()) {
+      return Status::Corruption("bad HLL run length");
+    }
+    for (uint64_t j = 0; j < *run; ++j) out.registers_[i + j] = *value;
+    i += *run;
+  }
+  return out;
+}
+
+}  // namespace edgelet::query

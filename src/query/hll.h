@@ -1,0 +1,50 @@
+#ifndef EDGELET_QUERY_HLL_H_
+#define EDGELET_QUERY_HLL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/status.h"
+
+namespace edgelet::query {
+
+// HyperLogLog cardinality sketch (Flajolet et al.), with the linear-
+// counting small-range correction. COUNT(DISTINCT col) is not algebraic
+// over partitions with plain counters, but the sketch IS mergeable, which
+// makes approximate distinct counting Overcollection-compatible — exactly
+// the class of operator the Edgelet execution strategies support.
+class HyperLogLog {
+ public:
+  // 2^precision registers; precision in [4, 16]. The default (10) keeps a
+  // sketch at 1 KiB, small enough for edgelet partial-result messages.
+  explicit HyperLogLog(int precision = 10);
+
+  int precision() const { return precision_; }
+  size_t num_registers() const { return registers_.size(); }
+
+  // Adds an element by its 64-bit hash (callers hash Values via
+  // Value::Hash()).
+  void AddHash(uint64_t hash);
+
+  // Union of the two sketches (register-wise max); precisions must match.
+  Status Merge(const HyperLogLog& other);
+
+  // Estimated number of distinct elements added.
+  double Estimate() const;
+
+  void Serialize(Writer* w) const;
+  static Result<HyperLogLog> Deserialize(Reader* r);
+
+  bool operator==(const HyperLogLog& other) const {
+    return precision_ == other.precision_ && registers_ == other.registers_;
+  }
+
+ private:
+  int precision_;
+  std::vector<uint8_t> registers_;
+};
+
+}  // namespace edgelet::query
+
+#endif  // EDGELET_QUERY_HLL_H_

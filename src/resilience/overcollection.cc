@@ -1,0 +1,86 @@
+#include "resilience/overcollection.h"
+
+#include <cmath>
+
+namespace edgelet::resilience {
+
+namespace {
+
+// log C(n, k) via lgamma.
+double LogChoose(int n, int k) {
+  return std::lgamma(n + 1.0) - std::lgamma(k + 1.0) -
+         std::lgamma(n - k + 1.0);
+}
+
+}  // namespace
+
+double ProbAtLeast(int need, int total, double p_survive) {
+  if (need <= 0) return 1.0;
+  if (need > total) return 0.0;
+  if (p_survive <= 0.0) return 0.0;
+  if (p_survive >= 1.0) return 1.0;
+  double log_p = std::log(p_survive);
+  double log_q = std::log1p(-p_survive);
+  double prob = 0.0;
+  for (int k = need; k <= total; ++k) {
+    double log_term = LogChoose(total, k) + k * log_p + (total - k) * log_q;
+    prob += std::exp(log_term);
+  }
+  return prob > 1.0 ? 1.0 : prob;
+}
+
+double PartitionSurvivalProbability(double failure_probability,
+                                    int ops_per_partition) {
+  double alive = 1.0 - failure_probability;
+  if (alive <= 0.0) return 0.0;
+  return std::pow(alive, ops_per_partition);
+}
+
+Result<int> MinOvercollection(int n, double failure_probability,
+                              double reliability_target,
+                              int ops_per_partition, int max_m) {
+  if (n < 1) return Status::InvalidArgument("n must be >= 1");
+  if (failure_probability < 0.0 || failure_probability >= 1.0) {
+    return Status::InvalidArgument("failure_probability must be in [0,1)");
+  }
+  if (reliability_target <= 0.0 || reliability_target > 1.0) {
+    return Status::InvalidArgument("reliability_target must be in (0,1]");
+  }
+  if (ops_per_partition < 1) {
+    return Status::InvalidArgument("ops_per_partition must be >= 1");
+  }
+  double s = PartitionSurvivalProbability(failure_probability,
+                                          ops_per_partition);
+  if (s <= 0.0) {
+    return Status::FailedPrecondition(
+        "partitions cannot survive at this failure probability");
+  }
+  for (int m = 0; m <= max_m; ++m) {
+    if (ProbAtLeast(n, n + m, s) >= reliability_target) return m;
+  }
+  return Status::FailedPrecondition(
+      "reliability target unreachable within max_m=" + std::to_string(max_m));
+}
+
+Result<int> MinBackupReplicas(int num_operators, double failure_probability,
+                              double reliability_target, int max_b) {
+  if (num_operators < 1) {
+    return Status::InvalidArgument("num_operators must be >= 1");
+  }
+  if (failure_probability < 0.0 || failure_probability >= 1.0) {
+    return Status::InvalidArgument("failure_probability must be in [0,1)");
+  }
+  if (reliability_target <= 0.0 || reliability_target > 1.0) {
+    return Status::InvalidArgument("reliability_target must be in (0,1]");
+  }
+  for (int b = 0; b <= max_b; ++b) {
+    // Group survives unless primary and all b replicas fail.
+    double group = 1.0 - std::pow(failure_probability, b + 1);
+    double all = std::pow(group, num_operators);
+    if (all >= reliability_target) return b;
+  }
+  return Status::FailedPrecondition(
+      "reliability target unreachable within max_b=" + std::to_string(max_b));
+}
+
+}  // namespace edgelet::resilience

@@ -1,0 +1,45 @@
+#ifndef EDGELET_RESILIENCE_OVERCOLLECTION_H_
+#define EDGELET_RESILIENCE_OVERCOLLECTION_H_
+
+#include "common/status.h"
+
+namespace edgelet::resilience {
+
+// Probability that at least `need` of `total` independent participants
+// survive, when each survives with probability `p_survive`. Computed in a
+// numerically stable way (log-space binomial terms).
+double ProbAtLeast(int need, int total, double p_survive);
+
+// Resiliency knobs the querier sets (paper: "a query completes before a
+// given deadline according to a given fault presumption rate").
+struct ResilienceConfig {
+  // Presumed probability that any single Data Processor edgelet fails (or
+  // stays unreachable) during the query window.
+  double failure_probability = 0.05;
+  // Required probability that the query completes validly by the deadline.
+  double reliability_target = 0.99;
+};
+
+// Minimum overcollection degree m such that
+//   P[>= n of n+m partitions survive] >= target,
+// each partition surviving iff its snapshot builder AND its computer(s)
+// survive: per-partition survival = (1-p)^ops_per_partition.
+// Fails if the target is unreachable within max_m.
+Result<int> MinOvercollection(int n, double failure_probability,
+                              double reliability_target,
+                              int ops_per_partition = 2, int max_m = 4096);
+
+// Backup strategy sizing: minimum number of replicas b (beyond the primary)
+// per operator such that
+//   P[every one of num_operators replica-groups keeps >= 1 survivor] =
+//   (1 - p^(b+1))^num_operators >= target.
+Result<int> MinBackupReplicas(int num_operators, double failure_probability,
+                              double reliability_target, int max_b = 64);
+
+// Probability that a single partition survives: all its ops alive.
+double PartitionSurvivalProbability(double failure_probability,
+                                    int ops_per_partition);
+
+}  // namespace edgelet::resilience
+
+#endif  // EDGELET_RESILIENCE_OVERCOLLECTION_H_

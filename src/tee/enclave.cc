@@ -1,0 +1,162 @@
+#include "tee/enclave.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/rng.h"
+#include "common/serialize.h"
+
+namespace edgelet::tee {
+
+namespace {
+
+Bytes ReportBody(uint64_t enclave_id, const Measurement& m) {
+  Writer w;
+  w.PutU64(enclave_id);
+  w.PutRaw(m.data(), m.size());
+  return w.Take();
+}
+
+crypto::Key256 KeyFromBytes(const Bytes& b) {
+  crypto::Key256 key{};
+  crypto::Digest256 d = crypto::Sha256::Hash(b);
+  std::memcpy(key.data(), d.data(), key.size());
+  return key;
+}
+
+}  // namespace
+
+TrustAuthority::TrustAuthority(uint64_t seed) {
+  Rng rng(seed);
+  root_key_.resize(32);
+  for (auto& b : root_key_) b = static_cast<uint8_t>(rng.NextU64());
+  Bytes gk(32);
+  for (auto& b : gk) b = static_cast<uint8_t>(rng.NextU64());
+  std::memcpy(group_key_.data(), gk.data(), group_key_.size());
+}
+
+AttestationReport TrustAuthority::Attest(uint64_t enclave_id,
+                                         const Measurement& measurement) const {
+  AttestationReport report;
+  report.enclave_id = enclave_id;
+  report.measurement = measurement;
+  Bytes body = ReportBody(enclave_id, measurement);
+  report.mac = crypto::HmacSha256(root_key_, body);
+  return report;
+}
+
+bool TrustAuthority::Verify(const AttestationReport& report) const {
+  Bytes body = ReportBody(report.enclave_id, report.measurement);
+  crypto::Digest256 expected = crypto::HmacSha256(root_key_, body);
+  return crypto::ConstantTimeEquals(expected.data(), report.mac.data(),
+                                    expected.size());
+}
+
+Result<crypto::Key256> TrustAuthority::ProvisionGroupKey(
+    const AttestationReport& report) const {
+  if (!Verify(report)) {
+    return Status::FailedPrecondition("attestation report MAC invalid");
+  }
+  if (has_expected_ &&
+      !crypto::ConstantTimeEquals(report.measurement.data(),
+                                  expected_measurement_.data(),
+                                  expected_measurement_.size())) {
+    return Status::FailedPrecondition(
+        "enclave measurement does not match expected code identity");
+  }
+  return group_key_;
+}
+
+Enclave::Enclave(uint64_t id, std::string code_identity,
+                 const TrustAuthority* authority)
+    : id_(id),
+      code_identity_(std::move(code_identity)),
+      authority_(authority) {
+  measurement_ = crypto::Sha256::Hash(code_identity_);
+  report_ = authority_->Attest(id_, measurement_);
+  // Sealing key: unique per enclave instance, derived from the hardware
+  // root and the enclave identity (mirrors SGX EGETKEY semantics).
+  Writer w;
+  w.PutU64(id_);
+  w.PutRaw(measurement_.data(), measurement_.size());
+  w.PutBytes(authority_->root_key());
+  sealing_key_ = KeyFromBytes(w.Take());
+}
+
+void Enclave::TamperCode(const std::string& new_identity) {
+  code_identity_ = new_identity;
+  measurement_ = crypto::Sha256::Hash(code_identity_);
+  // Genuine hardware measures whatever code is loaded; the report is valid
+  // but carries the tampered measurement.
+  report_ = authority_->Attest(id_, measurement_);
+  provisioned_ = false;
+}
+
+Status Enclave::Provision() {
+  auto key = authority_->ProvisionGroupKey(report_);
+  if (!key.ok()) return key.status();
+  group_key_ = *key;
+  provisioned_ = true;
+  return Status::OK();
+}
+
+crypto::Key256 Enclave::PairwiseKey(uint64_t peer_id) const {
+  uint64_t lo = std::min(id_, peer_id);
+  uint64_t hi = std::max(id_, peer_id);
+  Writer w;
+  w.PutU64(lo);
+  w.PutU64(hi);
+  Bytes gk(group_key_.begin(), group_key_.end());
+  crypto::Digest256 d = crypto::HmacSha256(gk, w.Take());
+  crypto::Key256 key{};
+  std::memcpy(key.data(), d.data(), key.size());
+  return key;
+}
+
+Result<Bytes> Enclave::SealFor(uint64_t peer_id, uint64_t seq,
+                               const Bytes& aad, const Bytes& plaintext) {
+  if (!provisioned_) {
+    return Status::FailedPrecondition("enclave not provisioned");
+  }
+  crypto::Nonce96 nonce = crypto::NonceFromSequence(id_, seq);
+  return crypto::AeadSeal(PairwiseKey(peer_id), nonce, aad, plaintext);
+}
+
+Result<Bytes> Enclave::OpenFrom(uint64_t peer_id, uint64_t seq,
+                                const Bytes& aad, const Bytes& sealed) {
+  if (!provisioned_) {
+    return Status::FailedPrecondition("enclave not provisioned");
+  }
+  crypto::Nonce96 nonce = crypto::NonceFromSequence(peer_id, seq);
+  return crypto::AeadOpen(PairwiseKey(peer_id), nonce, aad, sealed);
+}
+
+Bytes Enclave::SealToStorage(const Bytes& plaintext) {
+  crypto::Nonce96 nonce = crypto::NonceFromSequence(~id_, storage_seq_);
+  Bytes aad;
+  Bytes sealed = crypto::AeadSeal(sealing_key_, nonce, aad, plaintext);
+  // Prepend the sequence so UnsealFromStorage can rebuild the nonce.
+  Writer w;
+  w.PutU64(storage_seq_);
+  w.PutBytes(sealed);
+  ++storage_seq_;
+  return w.Take();
+}
+
+Result<Bytes> Enclave::UnsealFromStorage(const Bytes& blob) {
+  Reader r(blob);
+  auto seq = r.GetU64();
+  if (!seq.ok()) return seq.status();
+  auto sealed = r.GetBytes();
+  if (!sealed.ok()) return sealed.status();
+  crypto::Nonce96 nonce = crypto::NonceFromSequence(~id_, *seq);
+  Bytes aad;
+  return crypto::AeadOpen(sealing_key_, nonce, aad, *sealed);
+}
+
+void Enclave::RecordClearTextTuples(uint64_t tuples, uint64_t attributes) {
+  cleartext_tuples_ += tuples;
+  cleartext_cells_ += tuples * attributes;
+}
+
+}  // namespace edgelet::tee

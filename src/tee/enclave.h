@@ -1,0 +1,132 @@
+#ifndef EDGELET_TEE_ENCLAVE_H_
+#define EDGELET_TEE_ENCLAVE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "crypto/aead.h"
+#include "crypto/sha256.h"
+
+namespace edgelet::tee {
+
+// Software model of a Trusted Execution Environment. The Edgelet protocols
+// only rely on three TEE properties, all of which this model exposes:
+//   1. Code identity: a measurement (hash of the code) that remote parties
+//      can verify through manufacturer-rooted attestation.
+//   2. Confidential channels: attested enclaves share keys and exchange
+//      AEAD-sealed messages; the infrastructure between them sees only
+//      ciphertext.
+//   3. Sealed storage: data encrypted under a key only this enclave holds.
+// The model additionally supports the paper's "sealed-glass" threat mode
+// (Tramèr et al.): integrity holds but confidentiality is lost, so the
+// enclave keeps exposure counters that the privacy module audits.
+
+using Measurement = crypto::Digest256;
+
+// Manufacturer-signed (HMAC in this symmetric model) statement binding an
+// enclave id to its code measurement.
+struct AttestationReport {
+  uint64_t enclave_id = 0;
+  Measurement measurement{};
+  crypto::Digest256 mac{};
+};
+
+// Plays the role of the TEE manufacturer + key-distribution service: it
+// attests enclaves and provisions the query-group key to enclaves whose
+// measurement matches the expected code.
+class TrustAuthority {
+ public:
+  explicit TrustAuthority(uint64_t seed);
+
+  // Manufacturer root is installed in genuine hardware at fabrication; the
+  // model hands it to enclaves it creates (see Enclave constructor).
+  const Bytes& root_key() const { return root_key_; }
+
+  AttestationReport Attest(uint64_t enclave_id,
+                           const Measurement& measurement) const;
+  bool Verify(const AttestationReport& report) const;
+
+  // Releases the group key only to enclaves that attest with the expected
+  // measurement (the code the querier published).
+  void set_expected_measurement(const Measurement& m) {
+    expected_measurement_ = m;
+    has_expected_ = true;
+  }
+  Result<crypto::Key256> ProvisionGroupKey(
+      const AttestationReport& report) const;
+
+ private:
+  Bytes root_key_;
+  crypto::Key256 group_key_;
+  Measurement expected_measurement_{};
+  bool has_expected_ = false;
+};
+
+class Enclave {
+ public:
+  // `code_identity` stands in for the binary; its SHA-256 is the
+  // measurement.
+  Enclave(uint64_t id, std::string code_identity,
+          const TrustAuthority* authority);
+
+  uint64_t id() const { return id_; }
+  const Measurement& measurement() const { return measurement_; }
+  const AttestationReport& report() const { return report_; }
+
+  // Simulates loading a modified binary: measurement changes, attestation
+  // of the new identity will not match the expected measurement.
+  void TamperCode(const std::string& new_identity);
+
+  // Obtains the query-group key after remote attestation; fails if this
+  // enclave's code was tampered with.
+  Status Provision();
+
+  bool provisioned() const { return provisioned_; }
+
+  // --- Confidential channels -------------------------------------------
+  // Pairwise keys derive from the group key and the unordered id pair; the
+  // sender id feeds the nonce so both directions of a channel never reuse a
+  // (key, nonce) pair. `seq` must be unique per (sender, receiver) message.
+  Result<Bytes> SealFor(uint64_t peer_id, uint64_t seq, const Bytes& aad,
+                        const Bytes& plaintext);
+  Result<Bytes> OpenFrom(uint64_t peer_id, uint64_t seq, const Bytes& aad,
+                         const Bytes& sealed);
+
+  // --- Sealed storage ---------------------------------------------------
+  Bytes SealToStorage(const Bytes& plaintext);
+  Result<Bytes> UnsealFromStorage(const Bytes& sealed);
+
+  // --- Sealed-glass compromise model -------------------------------------
+  // When compromised, integrity is preserved (the protocol still runs) but
+  // everything processed in cleartext is considered observable.
+  void set_sealed_glass_compromised(bool v) { sealed_glass_ = v; }
+  bool sealed_glass_compromised() const { return sealed_glass_; }
+
+  // Called by operators when raw (pre-aggregation) tuples are decrypted in
+  // this enclave; the privacy module audits these counters.
+  void RecordClearTextTuples(uint64_t tuples, uint64_t attributes);
+  uint64_t cleartext_tuples_observed() const { return cleartext_tuples_; }
+  uint64_t cleartext_cells_observed() const { return cleartext_cells_; }
+
+ private:
+  crypto::Key256 PairwiseKey(uint64_t peer_id) const;
+
+  uint64_t id_;
+  std::string code_identity_;
+  Measurement measurement_;
+  const TrustAuthority* authority_;
+  AttestationReport report_;
+  crypto::Key256 sealing_key_{};
+  crypto::Key256 group_key_{};
+  bool provisioned_ = false;
+  bool sealed_glass_ = false;
+  uint64_t storage_seq_ = 0;
+  uint64_t cleartext_tuples_ = 0;
+  uint64_t cleartext_cells_ = 0;
+};
+
+}  // namespace edgelet::tee
+
+#endif  // EDGELET_TEE_ENCLAVE_H_

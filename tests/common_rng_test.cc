@@ -1,0 +1,173 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace edgelet {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBelowCoversAllResidues) {
+  Rng rng(7);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 10000; ++i) ++seen[rng.NextBelow(10)];
+  for (int count : seen) {
+    EXPECT_GT(count, 800);
+    EXPECT_LT(count, 1200);
+  }
+}
+
+TEST(RngTest, NextIntInclusiveBounds) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) hits += rng.NextBernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+    EXPECT_FALSE(rng.NextBernoulli(-0.5));
+    EXPECT_TRUE(rng.NextBernoulli(1.5));
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(17);
+  const int n = 50000;
+  double sum = 0, sumsq = 0;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sumsq += g * g;
+  }
+  double mean = sum / n;
+  double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, GaussianScaled) {
+  Rng rng(19);
+  const int n = 50000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += rng.NextGaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(23);
+  const int n = 50000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) {
+    double e = rng.NextExponential(0.5);
+    EXPECT_GE(e, 0.0);
+    sum += e;
+  }
+  EXPECT_NEAR(sum / n, 2.0, 0.1);
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(29);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> original = v;
+  rng.Shuffle(&v);
+  EXPECT_NE(v, original);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, ShuffleEmptyAndSingle) {
+  Rng rng(31);
+  std::vector<int> empty;
+  rng.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{5};
+  rng.Shuffle(&one);
+  EXPECT_EQ(one, std::vector<int>{5});
+}
+
+TEST(RngTest, ForkIndependence) {
+  Rng parent(41);
+  Rng c1 = parent.Fork(1);
+  Rng c2 = parent.Fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (c1.NextU64() == c2.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, ForkDeterministic) {
+  Rng p1(41), p2(41);
+  Rng c1 = p1.Fork(9);
+  Rng c2 = p2.Fork(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(c1.NextU64(), c2.NextU64());
+}
+
+TEST(SplitMix64Test, KnownSequence) {
+  // Reference values for seed 0 from the SplitMix64 reference
+  // implementation.
+  uint64_t s = 0;
+  EXPECT_EQ(SplitMix64(&s), 0xE220A8397B1DCDAFULL);
+  EXPECT_EQ(SplitMix64(&s), 0x6E789E6AA1B965F4ULL);
+  EXPECT_EQ(SplitMix64(&s), 0x06C45D188009454FULL);
+}
+
+}  // namespace
+}  // namespace edgelet

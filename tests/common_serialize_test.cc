@@ -1,0 +1,161 @@
+#include "common/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/bytes.h"
+
+namespace edgelet {
+namespace {
+
+TEST(SerializeTest, FixedWidthRoundTrip) {
+  Writer w;
+  w.PutU8(0xAB);
+  w.PutU16(0xBEEF);
+  w.PutU32(0xDEADBEEF);
+  w.PutU64(0x0123456789ABCDEFULL);
+  w.PutI64(-42);
+  w.PutBool(true);
+  w.PutBool(false);
+  w.PutDouble(3.14159);
+
+  Reader r(w.data());
+  EXPECT_EQ(*r.GetU8(), 0xAB);
+  EXPECT_EQ(*r.GetU16(), 0xBEEF);
+  EXPECT_EQ(*r.GetU32(), 0xDEADBEEFu);
+  EXPECT_EQ(*r.GetU64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(*r.GetI64(), -42);
+  EXPECT_TRUE(*r.GetBool());
+  EXPECT_FALSE(*r.GetBool());
+  EXPECT_DOUBLE_EQ(*r.GetDouble(), 3.14159);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializeTest, LittleEndianLayout) {
+  Writer w;
+  w.PutU32(0x01020304);
+  const Bytes& b = w.data();
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(b[0], 0x04);
+  EXPECT_EQ(b[1], 0x03);
+  EXPECT_EQ(b[2], 0x02);
+  EXPECT_EQ(b[3], 0x01);
+}
+
+TEST(SerializeTest, VarintRoundTrip) {
+  const uint64_t cases[] = {0,    1,    127,  128,
+                            300,  16383, 16384, 1ULL << 32,
+                            std::numeric_limits<uint64_t>::max()};
+  for (uint64_t v : cases) {
+    Writer w;
+    w.PutVarint(v);
+    Reader r(w.data());
+    EXPECT_EQ(*r.GetVarint(), v) << v;
+    EXPECT_TRUE(r.AtEnd());
+  }
+}
+
+TEST(SerializeTest, VarintEncodingSize) {
+  Writer w;
+  w.PutVarint(127);
+  EXPECT_EQ(w.size(), 1u);
+  Writer w2;
+  w2.PutVarint(128);
+  EXPECT_EQ(w2.size(), 2u);
+}
+
+TEST(SerializeTest, SignedVarintRoundTrip) {
+  const int64_t cases[] = {0,  -1, 1,  -64, 64, -65,
+                           1000000, -1000000,
+                           std::numeric_limits<int64_t>::min(),
+                           std::numeric_limits<int64_t>::max()};
+  for (int64_t v : cases) {
+    Writer w;
+    w.PutVarintSigned(v);
+    Reader r(w.data());
+    EXPECT_EQ(*r.GetVarintSigned(), v) << v;
+  }
+}
+
+TEST(SerializeTest, StringAndBytesRoundTrip) {
+  Writer w;
+  w.PutString("hello, edgelet");
+  w.PutString("");
+  Bytes blob = {0x00, 0xFF, 0x7F, 0x80};
+  w.PutBytes(blob);
+
+  Reader r(w.data());
+  EXPECT_EQ(*r.GetString(), "hello, edgelet");
+  EXPECT_EQ(*r.GetString(), "");
+  EXPECT_EQ(*r.GetBytes(), blob);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializeTest, TruncatedReadsFail) {
+  Writer w;
+  w.PutU64(1);
+  Reader r(w.data().data(), 4);
+  auto res = r.GetU64();
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(SerializeTest, TruncatedStringFails) {
+  Writer w;
+  w.PutString("abcdef");
+  Reader r(w.data().data(), 3);  // length prefix says 6, only 2 available
+  EXPECT_FALSE(r.GetString().ok());
+}
+
+TEST(SerializeTest, OverlongVarintFails) {
+  Bytes b(11, 0xFF);  // 11 continuation bytes > max 10 for 64-bit
+  Reader r(b);
+  EXPECT_FALSE(r.GetVarint().ok());
+}
+
+TEST(SerializeTest, BoolByteValidation) {
+  Bytes b = {2};
+  Reader r(b);
+  auto res = r.GetBool();
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kCorruption);
+}
+
+TEST(SerializeTest, DoubleSpecialValues) {
+  Writer w;
+  w.PutDouble(std::numeric_limits<double>::infinity());
+  w.PutDouble(-0.0);
+  Reader r(w.data());
+  EXPECT_EQ(*r.GetDouble(), std::numeric_limits<double>::infinity());
+  double neg_zero = *r.GetDouble();
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero));
+}
+
+TEST(BytesTest, HexRoundTrip) {
+  Bytes b = {0xDE, 0xAD, 0xBE, 0xEF};
+  EXPECT_EQ(ToHex(b), "deadbeef");
+  auto back = FromHex("deadbeef");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, b);
+  auto upper = FromHex("DEADBEEF");
+  ASSERT_TRUE(upper.ok());
+  EXPECT_EQ(*upper, b);
+}
+
+TEST(BytesTest, HexRejectsBadInput) {
+  EXPECT_FALSE(FromHex("abc").ok());   // odd length
+  EXPECT_FALSE(FromHex("zz").ok());    // non-hex
+}
+
+TEST(BytesTest, EmptyHex) {
+  EXPECT_EQ(ToHex(Bytes{}), "");
+  auto b = FromHex("");
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(b->empty());
+}
+
+}  // namespace
+}  // namespace edgelet

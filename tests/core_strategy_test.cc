@@ -1,0 +1,50 @@
+#include <gtest/gtest.h>
+
+#include "core/planner.h"
+
+namespace edgelet::core {
+namespace {
+
+using exec::Strategy;
+
+query::Query GsQuery() {
+  query::Query q;
+  q.kind = query::QueryKind::kGroupingSets;
+  q.snapshot_cardinality = 100;
+  q.grouping_sets = query::GroupingSetsSpec{
+      {{"region"}}, {{query::AggregateFunction::kCount, "*"}}};
+  return q;
+}
+
+query::Query KmQuery() {
+  query::Query q;
+  q.kind = query::QueryKind::kKMeans;
+  q.snapshot_cardinality = 100;
+  q.kmeans.features = {"bmi"};
+  return q;
+}
+
+TEST(RecommendStrategyTest, DistributiveDefaultsToOvercollection) {
+  EXPECT_EQ(RecommendStrategy(GsQuery(), {}), Strategy::kOvercollection);
+  EXPECT_EQ(RecommendStrategy(KmQuery(), {}), Strategy::kOvercollection);
+}
+
+TEST(RecommendStrategyTest, ScarceCrowdForcesBackup) {
+  StrategyContext context;
+  context.crowd_is_scarce = true;
+  EXPECT_EQ(RecommendStrategy(GsQuery(), context), Strategy::kBackup);
+  EXPECT_EQ(RecommendStrategy(KmQuery(), context), Strategy::kBackup);
+}
+
+TEST(RecommendStrategyTest, ExactIterativeMlNeedsBackup) {
+  StrategyContext context;
+  context.exact_result_required = true;
+  // Mergeable Grouping Sets stay exact under Overcollection...
+  EXPECT_EQ(RecommendStrategy(GsQuery(), context),
+            Strategy::kOvercollection);
+  // ...but heartbeat K-Means is approximate by construction.
+  EXPECT_EQ(RecommendStrategy(KmQuery(), context), Strategy::kBackup);
+}
+
+}  // namespace
+}  // namespace edgelet::core

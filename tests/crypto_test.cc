@@ -1,0 +1,302 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/bytes.h"
+#include "crypto/aead.h"
+#include "crypto/chacha20.h"
+#include "crypto/poly1305.h"
+#include "crypto/sha256.h"
+
+namespace edgelet::crypto {
+namespace {
+
+Bytes Hex(std::string_view s) {
+  auto r = FromHex(s);
+  EXPECT_TRUE(r.ok());
+  return *r;
+}
+
+std::string DigestHex(const Digest256& d) {
+  return ToHex(d.data(), d.size());
+}
+
+// --- SHA-256: NIST FIPS 180-4 vectors ------------------------------------
+
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(DigestHex(Sha256::Hash("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(DigestHex(Sha256::Hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(DigestHex(Sha256::Hash(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.Update(chunk);
+  EXPECT_EQ(DigestHex(h.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  std::string msg = "the quick brown fox jumps over the lazy dog";
+  for (size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 h;
+    h.Update(msg.substr(0, split));
+    h.Update(msg.substr(split));
+    EXPECT_EQ(h.Finish(), Sha256::Hash(msg)) << "split=" << split;
+  }
+}
+
+TEST(Sha256Test, ExactBlockBoundaries) {
+  // 55/56/64 bytes straddle the padding edge cases.
+  for (size_t len : {55u, 56u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    std::string msg(len, 'x');
+    Sha256 h;
+    h.Update(msg);
+    EXPECT_EQ(h.Finish(), Sha256::Hash(msg)) << len;
+  }
+}
+
+// --- HMAC-SHA256: RFC 4231 ------------------------------------------------
+
+TEST(HmacTest, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  auto mac = HmacSha256(key, Bytes{'H', 'i', ' ', 'T', 'h', 'e', 'r', 'e'});
+  EXPECT_EQ(ToHex(mac.data(), mac.size()),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Case2) {
+  Bytes key = BytesFromString("Jefe");
+  Bytes data = BytesFromString("what do ya want for nothing?");
+  auto mac = HmacSha256(key, data);
+  EXPECT_EQ(ToHex(mac.data(), mac.size()),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, Rfc4231Case3) {
+  Bytes key(20, 0xaa);
+  Bytes data(50, 0xdd);
+  auto mac = HmacSha256(key, data);
+  EXPECT_EQ(ToHex(mac.data(), mac.size()),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacTest, LongKeyIsHashed) {
+  Bytes key(131, 0xaa);  // > block size, must be pre-hashed
+  Bytes data = BytesFromString(
+      "Test Using Larger Than Block-Size Key - Hash Key First");
+  auto mac = HmacSha256(key, data);
+  EXPECT_EQ(ToHex(mac.data(), mac.size()),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+// --- HKDF: RFC 5869 --------------------------------------------------------
+
+TEST(HkdfTest, Rfc5869Case1) {
+  Bytes ikm(22, 0x0b);
+  Bytes salt = Hex("000102030405060708090a0b0c");
+  Bytes info = Hex("f0f1f2f3f4f5f6f7f8f9");
+  Bytes okm = HkdfSha256(salt, ikm, info, 42);
+  EXPECT_EQ(ToHex(okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+TEST(HkdfTest, EmptySaltUsesZeros) {
+  // RFC 5869 test case 3: salt and info empty.
+  Bytes ikm(22, 0x0b);
+  Bytes okm = HkdfSha256({}, ikm, {}, 42);
+  EXPECT_EQ(ToHex(okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8");
+}
+
+TEST(HkdfTest, OutputLengths) {
+  Bytes ikm(32, 0x42);
+  for (size_t len : {1u, 16u, 31u, 32u, 33u, 64u, 255u}) {
+    EXPECT_EQ(HkdfSha256({}, ikm, {}, len).size(), len);
+  }
+}
+
+// --- ChaCha20: RFC 8439 -----------------------------------------------------
+
+Key256 TestKey() {
+  Key256 key;
+  for (int i = 0; i < 32; ++i) key[i] = static_cast<uint8_t>(i);
+  return key;
+}
+
+TEST(ChaCha20Test, Rfc8439BlockFunction) {
+  // RFC 8439 §2.3.2.
+  Key256 key = TestKey();
+  Nonce96 nonce = {0x00, 0x00, 0x00, 0x09, 0x00, 0x00,
+                   0x00, 0x4a, 0x00, 0x00, 0x00, 0x00};
+  auto block = ChaCha20Block(key, nonce, 1);
+  EXPECT_EQ(ToHex(block.data(), block.size()),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e");
+}
+
+TEST(ChaCha20Test, Rfc8439Encryption) {
+  // RFC 8439 §2.4.2.
+  Key256 key = TestKey();
+  Nonce96 nonce = {0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+                   0x00, 0x4a, 0x00, 0x00, 0x00, 0x00};
+  Bytes plaintext = BytesFromString(
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.");
+  Bytes ct = ChaCha20Xor(key, nonce, 1, plaintext);
+  EXPECT_EQ(ToHex(ct),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+            "f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8"
+            "07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736"
+            "5af90bbf74a35be6b40b8eedf2785e42874d");
+}
+
+TEST(ChaCha20Test, XorIsInvolution) {
+  Key256 key = TestKey();
+  Nonce96 nonce{};
+  Bytes msg = BytesFromString("attack at dawn");
+  Bytes ct = ChaCha20Xor(key, nonce, 7, msg);
+  EXPECT_NE(ct, msg);
+  EXPECT_EQ(ChaCha20Xor(key, nonce, 7, ct), msg);
+}
+
+TEST(ChaCha20Test, MultiBlockMessages) {
+  Key256 key = TestKey();
+  Nonce96 nonce{};
+  for (size_t len : {0u, 1u, 63u, 64u, 65u, 128u, 1000u}) {
+    Bytes msg(len, 0x5A);
+    Bytes ct = ChaCha20Xor(key, nonce, 0, msg);
+    EXPECT_EQ(ct.size(), len);
+    EXPECT_EQ(ChaCha20Xor(key, nonce, 0, ct), msg);
+  }
+}
+
+// --- Poly1305: RFC 8439 §2.5.2 ----------------------------------------------
+
+TEST(Poly1305Test, Rfc8439Vector) {
+  Bytes key_bytes = Hex(
+      "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b");
+  std::array<uint8_t, 32> key;
+  std::memcpy(key.data(), key_bytes.data(), 32);
+  Bytes msg = BytesFromString("Cryptographic Forum Research Group");
+  Tag128 tag = Poly1305Mac(key, msg);
+  EXPECT_EQ(ToHex(tag.data(), tag.size()),
+            "a8061dc1305136c6c22b8baf0c0127a9");
+}
+
+TEST(Poly1305Test, EmptyMessage) {
+  std::array<uint8_t, 32> key{};
+  key[0] = 1;  // r = 1 (after clamp), s = 0
+  Tag128 tag = Poly1305Mac(key, {});
+  EXPECT_EQ(ToHex(tag.data(), tag.size()), "00000000000000000000000000000000");
+}
+
+// --- AEAD: RFC 8439 §2.8.2 ---------------------------------------------------
+
+TEST(AeadTest, Rfc8439Vector) {
+  Key256 key;
+  for (int i = 0; i < 32; ++i) key[i] = static_cast<uint8_t>(0x80 + i);
+  Nonce96 nonce = {0x07, 0x00, 0x00, 0x00, 0x40, 0x41,
+                   0x42, 0x43, 0x44, 0x45, 0x46, 0x47};
+  Bytes aad = Hex("50515253c0c1c2c3c4c5c6c7");
+  Bytes plaintext = BytesFromString(
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.");
+  Bytes sealed = AeadSeal(key, nonce, aad, plaintext);
+  ASSERT_EQ(sealed.size(), plaintext.size() + 16);
+  EXPECT_EQ(ToHex(Bytes(sealed.begin(), sealed.end() - 16)),
+            "d31a8d34648e60db7b86afbc53ef7ec2a4aded51296e08fea9e2b5a736ee62d6"
+            "3dbea45e8ca9671282fafb69da92728b1a71de0a9e060b2905d6a5b67ecd3b36"
+            "92ddbd7f2d778b8c9803aee328091b58fab324e4fad675945585808b4831d7bc"
+            "3ff4def08e4b7a9de576d26586cec64b6116");
+  EXPECT_EQ(ToHex(Bytes(sealed.end() - 16, sealed.end())),
+            "1ae10b594f09e26a7e902ecbd0600691");
+
+  auto opened = AeadOpen(key, nonce, aad, sealed);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(*opened, plaintext);
+}
+
+TEST(AeadTest, TamperedCiphertextRejected) {
+  Key256 key{};
+  Nonce96 nonce{};
+  Bytes aad = BytesFromString("header");
+  Bytes sealed = AeadSeal(key, nonce, aad, BytesFromString("secret"));
+  sealed[0] ^= 1;
+  EXPECT_FALSE(AeadOpen(key, nonce, aad, sealed).ok());
+}
+
+TEST(AeadTest, TamperedTagRejected) {
+  Key256 key{};
+  Nonce96 nonce{};
+  Bytes sealed = AeadSeal(key, nonce, {}, BytesFromString("secret"));
+  sealed.back() ^= 1;
+  EXPECT_FALSE(AeadOpen(key, nonce, {}, sealed).ok());
+}
+
+TEST(AeadTest, WrongAadRejected) {
+  Key256 key{};
+  Nonce96 nonce{};
+  Bytes sealed =
+      AeadSeal(key, nonce, BytesFromString("route A"), BytesFromString("x"));
+  EXPECT_FALSE(AeadOpen(key, nonce, BytesFromString("route B"), sealed).ok());
+}
+
+TEST(AeadTest, WrongKeyRejected) {
+  Key256 k1{}, k2{};
+  k2[0] = 1;
+  Nonce96 nonce{};
+  Bytes sealed = AeadSeal(k1, nonce, {}, BytesFromString("x"));
+  EXPECT_FALSE(AeadOpen(k2, nonce, {}, sealed).ok());
+}
+
+TEST(AeadTest, TooShortInputRejected) {
+  Key256 key{};
+  Nonce96 nonce{};
+  EXPECT_FALSE(AeadOpen(key, nonce, {}, Bytes(15, 0)).ok());
+}
+
+TEST(AeadTest, EmptyPlaintextRoundTrip) {
+  Key256 key{};
+  Nonce96 nonce{};
+  Bytes sealed = AeadSeal(key, nonce, {}, {});
+  EXPECT_EQ(sealed.size(), 16u);
+  auto opened = AeadOpen(key, nonce, {}, sealed);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_TRUE(opened->empty());
+}
+
+TEST(AeadTest, NonceFromSequenceUnique) {
+  auto n1 = NonceFromSequence(1, 1);
+  auto n2 = NonceFromSequence(1, 2);
+  auto n3 = NonceFromSequence(2, 1);
+  EXPECT_NE(n1, n2);
+  EXPECT_NE(n1, n3);
+  EXPECT_NE(n2, n3);
+}
+
+TEST(ConstantTimeEqualsTest, Basic) {
+  uint8_t a[4] = {1, 2, 3, 4};
+  uint8_t b[4] = {1, 2, 3, 4};
+  uint8_t c[4] = {1, 2, 3, 5};
+  EXPECT_TRUE(ConstantTimeEquals(a, b, 4));
+  EXPECT_FALSE(ConstantTimeEquals(a, c, 4));
+  EXPECT_TRUE(ConstantTimeEquals(a, c, 3));
+  EXPECT_TRUE(ConstantTimeEquals(a, c, 0));
+}
+
+}  // namespace
+}  // namespace edgelet::crypto

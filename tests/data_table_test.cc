@@ -1,0 +1,294 @@
+#include <gtest/gtest.h>
+
+#include "data/csv.h"
+#include "data/partition.h"
+#include "data/schema.h"
+#include "data/table.h"
+#include "data/value.h"
+
+namespace edgelet::data {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"id", ValueType::kInt64},
+                 {"name", ValueType::kString},
+                 {"score", ValueType::kDouble}});
+}
+
+Table TestTable() {
+  Table t(TestSchema());
+  EXPECT_TRUE(t.Append({Value(int64_t{1}), Value("alice"), Value(9.5)}).ok());
+  EXPECT_TRUE(t.Append({Value(int64_t{2}), Value("bob"), Value(7.25)}).ok());
+  EXPECT_TRUE(t.Append({Value(int64_t{3}), Value("carol"), Value(8.0)}).ok());
+  return t;
+}
+
+// --- Value ------------------------------------------------------------------
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value(int64_t{42}).AsInt64(), 42);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value("hi").AsString(), "hi");
+}
+
+TEST(ValueTest, ToDouble) {
+  EXPECT_DOUBLE_EQ(*Value(int64_t{3}).ToDouble(), 3.0);
+  EXPECT_DOUBLE_EQ(*Value(1.5).ToDouble(), 1.5);
+  EXPECT_FALSE(Value("x").ToDouble().ok());
+  EXPECT_FALSE(Value::Null().ToDouble().ok());
+}
+
+TEST(ValueTest, Ordering) {
+  EXPECT_LT(Value::Null(), Value(int64_t{0}));
+  EXPECT_LT(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_LT(Value(1.5), Value(int64_t{2}));
+  EXPECT_LT(Value(int64_t{1}), Value(1.5));
+  EXPECT_LT(Value(int64_t{5}), Value("a"));
+  EXPECT_LT(Value("a"), Value("b"));
+  EXPECT_FALSE(Value::Null() < Value::Null());
+}
+
+TEST(ValueTest, EqualityAndHash) {
+  EXPECT_EQ(Value(int64_t{7}), Value(int64_t{7}));
+  EXPECT_NE(Value(int64_t{7}), Value(7.0));  // different types
+  EXPECT_EQ(Value("x").Hash(), Value("x").Hash());
+  EXPECT_NE(Value("x").Hash(), Value("y").Hash());
+  EXPECT_EQ(Value::Null().Hash(), Value::Null().Hash());
+}
+
+TEST(ValueTest, SerializationRoundTrip) {
+  std::vector<Value> values = {Value::Null(), Value(int64_t{-5}),
+                               Value(int64_t{1} << 40), Value(3.25),
+                               Value(""), Value("héllo")};
+  Writer w;
+  for (const auto& v : values) v.Serialize(&w);
+  Reader r(w.data());
+  for (const auto& v : values) {
+    auto got = Value::Deserialize(&r);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, v);
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(ValueTest, DeserializeRejectsBadTag) {
+  Bytes b = {9};
+  Reader r(b);
+  EXPECT_FALSE(Value::Deserialize(&r).ok());
+}
+
+// --- Schema -----------------------------------------------------------------
+
+TEST(SchemaTest, IndexOfAndContains) {
+  Schema s = TestSchema();
+  EXPECT_EQ(*s.IndexOf("name"), 1u);
+  EXPECT_FALSE(s.IndexOf("missing").ok());
+  EXPECT_TRUE(s.Contains("score"));
+  EXPECT_FALSE(s.Contains("bogus"));
+}
+
+TEST(SchemaTest, Project) {
+  Schema s = TestSchema();
+  auto p = s.Project({"score", "id"});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->num_columns(), 2u);
+  EXPECT_EQ(p->column(0).name, "score");
+  EXPECT_EQ(p->column(1).name, "id");
+  EXPECT_FALSE(s.Project({"nope"}).ok());
+}
+
+TEST(SchemaTest, SerializationRoundTrip) {
+  Schema s = TestSchema();
+  Writer w;
+  s.Serialize(&w);
+  Reader r(w.data());
+  auto back = Schema::Deserialize(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, s);
+}
+
+// --- Table -------------------------------------------------------------------
+
+TEST(TableTest, AppendValidates) {
+  Table t(TestSchema());
+  EXPECT_TRUE(t.Append({Value(int64_t{1}), Value("a"), Value(1.0)}).ok());
+  // Wrong arity.
+  EXPECT_FALSE(t.Append({Value(int64_t{1})}).ok());
+  // Wrong type.
+  EXPECT_FALSE(t.Append({Value("x"), Value("a"), Value(1.0)}).ok());
+  // NULL fits anywhere.
+  EXPECT_TRUE(t.Append({Value::Null(), Value::Null(), Value::Null()}).ok());
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableTest, At) {
+  Table t = TestTable();
+  EXPECT_EQ(t.At(1, "name")->AsString(), "bob");
+  EXPECT_FALSE(t.At(9, "name").ok());
+  EXPECT_FALSE(t.At(0, "zzz").ok());
+}
+
+TEST(TableTest, Project) {
+  Table t = TestTable();
+  auto p = t.Project({"name"});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->num_rows(), 3u);
+  EXPECT_EQ(p->row(2)[0].AsString(), "carol");
+}
+
+TEST(TableTest, Filter) {
+  Table t = TestTable();
+  Table f = t.Filter([](const Tuple& r) { return r[2].AsDouble() >= 8.0; });
+  EXPECT_EQ(f.num_rows(), 2u);
+}
+
+TEST(TableTest, ConcatChecksSchema) {
+  Table a = TestTable();
+  Table b = TestTable();
+  EXPECT_TRUE(a.Concat(b).ok());
+  EXPECT_EQ(a.num_rows(), 6u);
+  Table other(Schema({{"x", ValueType::kInt64}}));
+  EXPECT_FALSE(a.Concat(other).ok());
+}
+
+TEST(TableTest, SortRowsIsDeterministic) {
+  Table t(TestSchema());
+  ASSERT_TRUE(t.Append({Value(int64_t{2}), Value("b"), Value(1.0)}).ok());
+  ASSERT_TRUE(t.Append({Value(int64_t{1}), Value("a"), Value(2.0)}).ok());
+  t.SortRows();
+  EXPECT_EQ(t.row(0)[0].AsInt64(), 1);
+  EXPECT_EQ(t.row(1)[0].AsInt64(), 2);
+}
+
+TEST(TableTest, NumericColumn) {
+  Table t = TestTable();
+  auto c = t.NumericColumn("score");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->size(), 3u);
+  EXPECT_DOUBLE_EQ((*c)[0], 9.5);
+  auto ids = t.NumericColumn("id");
+  ASSERT_TRUE(ids.ok());
+  EXPECT_DOUBLE_EQ((*ids)[2], 3.0);
+  EXPECT_FALSE(t.NumericColumn("name").ok());
+}
+
+TEST(TableTest, SerializationRoundTrip) {
+  Table t = TestTable();
+  Writer w;
+  t.Serialize(&w);
+  Reader r(w.data());
+  auto back = Table::Deserialize(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, t);
+}
+
+TEST(TableTest, DeserializeTruncatedFails) {
+  Table t = TestTable();
+  Writer w;
+  t.Serialize(&w);
+  Bytes truncated(w.data().begin(), w.data().begin() + w.size() / 2);
+  Reader r(truncated);
+  EXPECT_FALSE(Table::Deserialize(&r).ok());
+}
+
+// --- CSV ----------------------------------------------------------------------
+
+TEST(CsvTest, RoundTrip) {
+  Table t = TestTable();
+  std::string csv = TableToCsv(t);
+  auto back = TableFromCsv(csv, t.schema());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->num_rows(), 3u);
+  EXPECT_EQ(back->row(0)[1].AsString(), "alice");
+  EXPECT_DOUBLE_EQ(back->row(1)[2].AsDouble(), 7.25);
+}
+
+TEST(CsvTest, QuotedFields) {
+  Table t(Schema({{"s", ValueType::kString}}));
+  ASSERT_TRUE(t.Append({Value("has,comma")}).ok());
+  ASSERT_TRUE(t.Append({Value("has\"quote")}).ok());
+  ASSERT_TRUE(t.Append({Value("has\nnewline")}).ok());
+  std::string csv = TableToCsv(t);
+  auto back = TableFromCsv(csv, t.schema());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->row(0)[0].AsString(), "has,comma");
+  EXPECT_EQ(back->row(1)[0].AsString(), "has\"quote");
+  EXPECT_EQ(back->row(2)[0].AsString(), "has\nnewline");
+}
+
+TEST(CsvTest, NullsAsEmptyFields) {
+  Table t(TestSchema());
+  ASSERT_TRUE(t.Append({Value::Null(), Value("x"), Value::Null()}).ok());
+  auto back = TableFromCsv(TableToCsv(t), t.schema());
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->row(0)[0].is_null());
+  EXPECT_TRUE(back->row(0)[2].is_null());
+}
+
+TEST(CsvTest, HeaderMismatchRejected) {
+  EXPECT_FALSE(TableFromCsv("a,b\n1,2\n", TestSchema()).ok());
+}
+
+TEST(CsvTest, BadNumericRejected) {
+  Schema s({{"id", ValueType::kInt64}});
+  EXPECT_FALSE(TableFromCsv("id\nnot_a_number\n", s).ok());
+}
+
+// --- Partitioning ----------------------------------------------------------------
+
+TEST(PartitionTest, HashPartitionCoversAllRows) {
+  Table t(Schema({{"id", ValueType::kInt64}}));
+  for (int64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(t.Append({Value(i)}).ok());
+  }
+  auto parts = PartitionByHash(t, "id", 7);
+  ASSERT_TRUE(parts.ok());
+  size_t total = 0;
+  for (const auto& p : *parts) total += p.num_rows();
+  EXPECT_EQ(total, 1000u);
+  // Hash partitioning should be roughly balanced.
+  for (const auto& p : *parts) {
+    EXPECT_GT(p.num_rows(), 80u);
+    EXPECT_LT(p.num_rows(), 220u);
+  }
+}
+
+TEST(PartitionTest, AssignmentIsStable) {
+  EXPECT_EQ(PartitionForKey(12345, 8), PartitionForKey(12345, 8));
+}
+
+TEST(PartitionTest, RejectsBadInputs) {
+  Table t(Schema({{"id", ValueType::kInt64}}));
+  EXPECT_FALSE(PartitionByHash(t, "id", 0).ok());
+  EXPECT_FALSE(PartitionByHash(t, "nope", 3).ok());
+  Table s(Schema({{"name", ValueType::kString}}));
+  EXPECT_FALSE(PartitionByHash(s, "name", 3).ok());
+}
+
+TEST(PartitionTest, NullKeyRejected) {
+  Table t(Schema({{"id", ValueType::kInt64}}));
+  ASSERT_TRUE(t.Append({Value::Null()}).ok());
+  EXPECT_FALSE(PartitionByHash(t, "id", 3).ok());
+}
+
+TEST(PartitionTest, VerticalGroupsWithAlwaysInclude) {
+  Table t = TestTable();
+  auto parts =
+      PartitionVertically(t, {{"name"}, {"score"}}, {"id"});
+  ASSERT_TRUE(parts.ok());
+  ASSERT_EQ(parts->size(), 2u);
+  EXPECT_EQ((*parts)[0].schema().ToString(), "(id:INT64, name:STRING)");
+  EXPECT_EQ((*parts)[1].schema().ToString(), "(id:INT64, score:DOUBLE)");
+  EXPECT_EQ((*parts)[0].num_rows(), 3u);
+}
+
+TEST(PartitionTest, VerticalDeduplicatesAlwaysInclude) {
+  Table t = TestTable();
+  auto parts = PartitionVertically(t, {{"id", "name"}}, {"id"});
+  ASSERT_TRUE(parts.ok());
+  EXPECT_EQ((*parts)[0].schema().num_columns(), 2u);
+}
+
+}  // namespace
+}  // namespace edgelet::data

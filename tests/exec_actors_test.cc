@@ -1,0 +1,334 @@
+// Actor-level tests: drive snapshot builders, computers, and combiners
+// directly with hand-crafted sealed messages to pin down quota handling,
+// deduplication, epoch selection, and first-n combination.
+
+#include <gtest/gtest.h>
+
+#include "exec/combiner.h"
+#include "exec/computer.h"
+#include "exec/snapshot_builder.h"
+
+namespace edgelet::exec {
+namespace {
+
+data::Schema MiniSchema() {
+  return data::Schema({{"region", data::ValueType::kString},
+                       {"bmi", data::ValueType::kDouble}});
+}
+
+query::GroupingSetsSpec MiniSpec() {
+  return query::GroupingSetsSpec{
+      {{"region"}},
+      {{query::AggregateFunction::kCount, "*"},
+       {query::AggregateFunction::kAvg, "bmi"}}};
+}
+
+class ActorTest : public ::testing::Test {
+ protected:
+  ActorTest() : sim_(1), network_(&sim_, NoDropConfig()), authority_(9) {
+    authority_.set_expected_measurement(crypto::Sha256::Hash("code"));
+  }
+
+  static net::NetworkConfig NoDropConfig() {
+    net::NetworkConfig cfg;
+    cfg.latency.min_latency = 1 * kMillisecond;
+    cfg.latency.mean_extra = 0;
+    return cfg;
+  }
+
+  device::Device* NewDevice() {
+    auto profile = device::DeviceProfile::Pc();
+    profile.churn = net::ChurnModel::AlwaysOn();
+    devices_.push_back(std::make_unique<device::Device>(
+        &network_, &authority_, profile, "code"));
+    EXPECT_TRUE(devices_.back()->enclave().Provision().ok());
+    return devices_.back().get();
+  }
+
+  // Sends one sealed contribution row from `from` to `to`.
+  void SendContribution(device::Device* from, net::NodeId to, uint64_t key,
+                        const char* region, double bmi) {
+    ContributionMsg msg;
+    msg.query_id = 1;
+    msg.contributor_key = key;
+    msg.rows = data::Table(MiniSchema());
+    msg.rows.AppendUnchecked(
+        {data::Value(region), data::Value(bmi)});
+    ASSERT_TRUE(from->SendSealed(to, kContribution, msg.Encode()).ok());
+  }
+
+  ReplicaRole::Config Singleton(device::Device* dev) {
+    ReplicaRole::Config cfg;
+    cfg.group_id = 1;
+    cfg.members = {dev->id()};
+    return cfg;
+  }
+
+  net::Simulator sim_;
+  net::Network network_;
+  tee::TrustAuthority authority_;
+  std::vector<std::unique_ptr<device::Device>> devices_;
+};
+
+// Captures decoded slices a computer would receive.
+class SliceSink : public ActorBase {
+ public:
+  SliceSink(net::Simulator* sim, device::Device* dev)
+      : ActorBase(sim, dev) {}
+  std::vector<SnapshotSliceMsg> slices;
+
+ protected:
+  void HandleMessage(const net::Message& msg) override {
+    if (msg.type != kSnapshotSlice) return;
+    auto payload = dev()->OpenPayload(msg);
+    ASSERT_TRUE(payload.ok());
+    auto slice = SnapshotSliceMsg::Decode(*payload);
+    ASSERT_TRUE(slice.ok());
+    slices.push_back(std::move(*slice));
+  }
+};
+
+TEST_F(ActorTest, SnapshotBuilderStopsAtQuota) {
+  device::Device* sb_dev = NewDevice();
+  device::Device* sink_dev = NewDevice();
+  SliceSink sink(&sim_, sink_dev);
+
+  SnapshotBuilderActor::Config cfg;
+  cfg.query_id = 1;
+  cfg.partition = 0;
+  cfg.vgroup = 0;
+  cfg.quota = 3;
+  cfg.computers = {sink_dev->id()};
+  cfg.columns = {"region", "bmi"};
+  cfg.replica = Singleton(sb_dev);
+  SnapshotBuilderActor sb(&sim_, sb_dev, cfg);
+  sb.Start();
+
+  for (uint64_t key = 1; key <= 5; ++key) {
+    device::Device* contributor = NewDevice();
+    SendContribution(contributor, sb_dev->id(), key, "north", 20.0 + key);
+  }
+  sim_.RunUntil(kMinute);
+
+  EXPECT_TRUE(sb.snapshot_complete());
+  EXPECT_EQ(sb.tuples_collected(), 3u);
+  EXPECT_EQ(sb.included_contributors().size(), 3u);
+  ASSERT_EQ(sink.slices.size(), 1u);
+  EXPECT_EQ(sink.slices[0].rows.num_rows(), 3u);
+  EXPECT_EQ(sink.slices[0].epoch, 0u);
+  // Exposure recorded inside the builder's enclave.
+  EXPECT_GE(sb_dev->enclave().cleartext_tuples_observed(), 3u);
+}
+
+TEST_F(ActorTest, SnapshotBuilderDeduplicatesContributors) {
+  device::Device* sb_dev = NewDevice();
+  device::Device* sink_dev = NewDevice();
+  SliceSink sink(&sim_, sink_dev);
+
+  SnapshotBuilderActor::Config cfg;
+  cfg.query_id = 1;
+  cfg.partition = 0;
+  cfg.vgroup = 0;
+  cfg.quota = 3;
+  cfg.computers = {sink_dev->id()};
+  cfg.columns = {"region", "bmi"};
+  cfg.replica = Singleton(sb_dev);
+  SnapshotBuilderActor sb(&sim_, sb_dev, cfg);
+  sb.Start();
+
+  device::Device* contributor = NewDevice();
+  // Same contributor replays its contribution (store-and-forward echo).
+  SendContribution(contributor, sb_dev->id(), 7, "north", 21.0);
+  SendContribution(contributor, sb_dev->id(), 7, "north", 21.0);
+  SendContribution(contributor, sb_dev->id(), 7, "north", 21.0);
+  sim_.RunUntil(kMinute);
+  EXPECT_FALSE(sb.snapshot_complete());
+  EXPECT_EQ(sb.tuples_collected(), 1u);
+}
+
+TEST_F(ActorTest, SnapshotBuilderIgnoresWrongQuery) {
+  device::Device* sb_dev = NewDevice();
+  device::Device* sink_dev = NewDevice();
+  SliceSink sink(&sim_, sink_dev);
+
+  SnapshotBuilderActor::Config cfg;
+  cfg.query_id = 42;  // expects query 42, receives query 1
+  cfg.partition = 0;
+  cfg.vgroup = 0;
+  cfg.quota = 1;
+  cfg.computers = {sink_dev->id()};
+  cfg.columns = {"region", "bmi"};
+  cfg.replica = Singleton(sb_dev);
+  SnapshotBuilderActor sb(&sim_, sb_dev, cfg);
+  sb.Start();
+
+  device::Device* contributor = NewDevice();
+  SendContribution(contributor, sb_dev->id(), 1, "north", 20.0);
+  sim_.RunUntil(kMinute);
+  EXPECT_FALSE(sb.snapshot_complete());
+}
+
+// Captures decoded GS partials a combiner would receive.
+class PartialSink : public ActorBase {
+ public:
+  PartialSink(net::Simulator* sim, device::Device* dev)
+      : ActorBase(sim, dev) {}
+  std::vector<GsPartialMsg> partials;
+
+ protected:
+  void HandleMessage(const net::Message& msg) override {
+    if (msg.type != kGsPartial) return;
+    auto payload = dev()->OpenPayload(msg);
+    ASSERT_TRUE(payload.ok());
+    auto partial = GsPartialMsg::Decode(*payload);
+    ASSERT_TRUE(partial.ok());
+    partials.push_back(std::move(*partial));
+  }
+};
+
+TEST_F(ActorTest, ComputerTakesFirstEpochOnly) {
+  device::Device* comp_dev = NewDevice();
+  device::Device* comb_dev = NewDevice();
+  device::Device* sb_dev = NewDevice();
+  PartialSink sink(&sim_, comb_dev);
+
+  ComputerActor::Config cfg;
+  cfg.query_id = 1;
+  cfg.partition = 0;
+  cfg.vgroup = 0;
+  cfg.mode = ComputerActor::Mode::kGroupingSets;
+  cfg.gs_spec = MiniSpec();
+  cfg.set_indices = {0};
+  cfg.combiners = {comb_dev->id()};
+  cfg.replica = Singleton(comp_dev);
+  ComputerActor computer(&sim_, comp_dev, cfg);
+  computer.Start();
+
+  auto send_slice = [&](uint32_t epoch, double bmi) {
+    SnapshotSliceMsg slice;
+    slice.query_id = 1;
+    slice.partition = 0;
+    slice.vgroup = 0;
+    slice.epoch = epoch;
+    slice.rows = data::Table(MiniSchema());
+    slice.rows.AppendUnchecked({data::Value("north"), data::Value(bmi)});
+    ASSERT_TRUE(
+        sb_dev->SendSealed(comp_dev->id(), kSnapshotSlice, slice.Encode())
+            .ok());
+  };
+  send_slice(0, 11.0);
+  sim_.RunUntil(10 * kSecond);
+  send_slice(1, 99.0);  // late re-emission from a failover replica
+  sim_.RunUntil(kMinute);
+
+  ASSERT_FALSE(sink.partials.empty());
+  EXPECT_EQ(sink.partials[0].epoch, 0u);
+  auto table = sink.partials[0].result.Finalize();
+  ASSERT_TRUE(table.ok());
+  // AVG(bmi) from the first slice (11.0), not the late one.
+  auto avg_idx = table->schema().IndexOf("AVG(bmi)");
+  ASSERT_TRUE(avg_idx.ok());
+  EXPECT_DOUBLE_EQ(table->row(0)[*avg_idx].AsDouble(), 11.0);
+}
+
+// Captures the final result at a querier device.
+TEST_F(ActorTest, CombinerMergesExactlyFirstNPartitions) {
+  device::Device* comb_dev = NewDevice();
+  device::Device* querier_dev = NewDevice();
+  device::Device* comp_dev = NewDevice();
+  QuerierActor querier(&sim_, querier_dev, 1);
+
+  CombinerActor::Config cfg;
+  cfg.query_id = 1;
+  cfg.mode = CombinerActor::Mode::kGroupingSets;
+  cfg.n_needed = 2;
+  cfg.num_vgroups = 1;
+  cfg.gs_spec = MiniSpec();
+  cfg.querier_targets = {querier_dev->id()};
+  cfg.emit_at = kSimTimeNever;
+  cfg.active_emit = true;
+  cfg.result_resends = 0;
+  cfg.replica = Singleton(comb_dev);
+  CombinerActor combiner(&sim_, comb_dev, cfg);
+  combiner.Start();
+
+  auto send_partial = [&](uint32_t partition, double bmi) {
+    data::Table t(MiniSchema());
+    t.AppendUnchecked({data::Value("north"), data::Value(bmi)});
+    auto result = query::GroupingSetsResult::Compute(t, MiniSpec());
+    ASSERT_TRUE(result.ok());
+    GsPartialMsg msg;
+    msg.query_id = 1;
+    msg.partition = partition;
+    msg.vgroup = 0;
+    msg.epoch = 0;
+    msg.result = std::move(*result);
+    ASSERT_TRUE(
+        comp_dev->SendSealed(comb_dev->id(), kGsPartial, msg.Encode()).ok());
+  };
+  // Partitions arrive in order 2, 0, 1: the combiner must merge the FIRST
+  // TWO complete ones (2 and 0), not partition 1.
+  send_partial(2, 10.0);
+  sim_.RunUntil(5 * kSecond);
+  send_partial(0, 20.0);
+  sim_.RunUntil(10 * kSecond);
+  send_partial(1, 99.0);
+  sim_.RunUntil(kMinute);
+
+  ASSERT_TRUE(querier.has_result());
+  const FinalResultMsg& result = querier.result();
+  EXPECT_EQ(result.partitions, (std::vector<uint32_t>{2, 0}));
+  // COUNT(*) = 2 rows; AVG(bmi) = 15 (partitions 2 and 0 only).
+  auto count_idx = result.result.schema().IndexOf("COUNT(*)");
+  auto avg_idx = result.result.schema().IndexOf("AVG(bmi)");
+  ASSERT_TRUE(count_idx.ok() && avg_idx.ok());
+  EXPECT_EQ(result.result.row(0)[*count_idx].AsInt64(), 2);
+  EXPECT_DOUBLE_EQ(result.result.row(0)[*avg_idx].AsDouble(), 15.0);
+}
+
+TEST_F(ActorTest, CombinerIgnoresDuplicateVgroupPartials) {
+  device::Device* comb_dev = NewDevice();
+  device::Device* querier_dev = NewDevice();
+  device::Device* comp_dev = NewDevice();
+  QuerierActor querier(&sim_, querier_dev, 1);
+
+  CombinerActor::Config cfg;
+  cfg.query_id = 1;
+  cfg.mode = CombinerActor::Mode::kGroupingSets;
+  cfg.n_needed = 1;
+  cfg.num_vgroups = 1;
+  cfg.gs_spec = MiniSpec();
+  cfg.querier_targets = {querier_dev->id()};
+  cfg.emit_at = kSimTimeNever;
+  cfg.active_emit = true;
+  cfg.result_resends = 0;
+  cfg.replica = Singleton(comb_dev);
+  CombinerActor combiner(&sim_, comb_dev, cfg);
+  combiner.Start();
+
+  data::Table t(MiniSchema());
+  t.AppendUnchecked({data::Value("north"), data::Value(30.0)});
+  auto partial = query::GroupingSetsResult::Compute(t, MiniSpec());
+  ASSERT_TRUE(partial.ok());
+  GsPartialMsg msg;
+  msg.query_id = 1;
+  msg.partition = 0;
+  msg.vgroup = 0;
+  msg.epoch = 0;
+  msg.result = *partial;
+  // The same partial re-emitted 3 times (lossy-link redundancy).
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        comp_dev->SendSealed(comb_dev->id(), kGsPartial, msg.Encode()).ok());
+  }
+  sim_.RunUntil(kMinute);
+
+  ASSERT_TRUE(querier.has_result());
+  auto count_idx = querier.result().result.schema().IndexOf("COUNT(*)");
+  ASSERT_TRUE(count_idx.ok());
+  // Not triple-counted.
+  EXPECT_EQ(querier.result().result.row(0)[*count_idx].AsInt64(), 1);
+}
+
+}  // namespace
+}  // namespace edgelet::exec

@@ -1,0 +1,179 @@
+// Negative-path coverage: executions and plans that must fail cleanly, and
+// degraded runs that must degrade the way the paper predicts.
+
+#include <gtest/gtest.h>
+
+#include "core/framework.h"
+
+namespace edgelet::core {
+namespace {
+
+using exec::Strategy;
+using query::AggregateFunction;
+using query::CompareOp;
+
+query::Query MiniQuery(uint64_t id = 1) {
+  query::Query q;
+  q.query_id = id;
+  q.kind = query::QueryKind::kGroupingSets;
+  q.snapshot_cardinality = 20;
+  q.grouping_sets = query::GroupingSetsSpec{
+      {{"region"}}, {{AggregateFunction::kCount, "*"}}};
+  return q;
+}
+
+TEST(FailurePathsTest, ExecuteBeforeInitFails) {
+  FrameworkConfig cfg;
+  EdgeletFramework fw(cfg);
+  exec::Deployment empty;
+  EXPECT_FALSE(fw.Execute(empty, {}).ok());
+  EXPECT_FALSE(fw.Plan(MiniQuery(), {}, {}, Strategy::kOvercollection).ok());
+}
+
+TEST(FailurePathsTest, ImpossibleReliabilityTargetFailsPlanning) {
+  FrameworkConfig cfg;
+  cfg.fleet.num_contributors = 50;
+  cfg.fleet.num_processors = 20;
+  cfg.fleet.enable_churn = false;
+  EdgeletFramework fw(cfg);
+  ASSERT_TRUE(fw.Init().ok());
+  // 90% failure probability with a 0.999999 target: unreachable within the
+  // processor pool (and within max_m).
+  resilience::ResilienceConfig impossible{0.9, 0.999999};
+  auto d = fw.Plan(MiniQuery(), {}, impossible, Strategy::kOvercollection);
+  EXPECT_FALSE(d.ok());
+}
+
+TEST(FailurePathsTest, CrowdTooSmallMissesDeadline) {
+  // Only 10 qualifying contributors for a snapshot of 20: no partition can
+  // ever fill its quota, so the query must time out (not crash, not
+  // deliver an undersized snapshot).
+  FrameworkConfig cfg;
+  cfg.fleet.num_contributors = 10;
+  cfg.fleet.num_processors = 20;
+  cfg.fleet.enable_churn = false;
+  EdgeletFramework fw(cfg);
+  ASSERT_TRUE(fw.Init().ok());
+  auto d = fw.Plan(MiniQuery(), {}, {0.0, 0.9}, Strategy::kOvercollection);
+  ASSERT_TRUE(d.ok());
+  exec::ExecutionConfig ec;
+  ec.collection_window = 30 * kSecond;
+  ec.deadline = 2 * kMinute;
+  ec.inject_failures = false;
+  auto report = fw.Execute(*d, ec);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->success);
+  EXPECT_EQ(report->completion_time, kSimTimeNever);
+  EXPECT_TRUE(report->result.empty());
+}
+
+TEST(FailurePathsTest, NoQualifyingContributorsTimesOut) {
+  FrameworkConfig cfg;
+  cfg.fleet.num_contributors = 50;
+  cfg.fleet.num_processors = 20;
+  cfg.fleet.enable_churn = false;
+  EdgeletFramework fw(cfg);
+  ASSERT_TRUE(fw.Init().ok());
+  query::Query q = MiniQuery();
+  // Impossible predicate: nobody is older than 200.
+  q.predicates = {{"age", CompareOp::kGt, data::Value(int64_t{200})}};
+  auto d = fw.Plan(q, {}, {0.0, 0.9}, Strategy::kOvercollection);
+  ASSERT_TRUE(d.ok());
+  exec::ExecutionConfig ec;
+  ec.collection_window = 30 * kSecond;
+  ec.deadline = 2 * kMinute;
+  ec.inject_failures = false;
+  auto report = fw.Execute(*d, ec);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->success);
+  EXPECT_EQ(report->contributors_participating, 0u);
+}
+
+TEST(FailurePathsTest, BothCombinersDeadMeansNoResult) {
+  FrameworkConfig cfg;
+  cfg.fleet.num_contributors = 100;
+  cfg.fleet.num_processors = 30;
+  cfg.fleet.enable_churn = false;
+  cfg.seed = 3;
+  EdgeletFramework fw(cfg);
+  ASSERT_TRUE(fw.Init().ok());
+  auto d = fw.Plan(MiniQuery(), {}, {0.1, 0.99}, Strategy::kOvercollection);
+  ASSERT_TRUE(d.ok());
+  ASSERT_EQ(d->combiner_group.size(), 2u);
+  // Kill the Combiner AND its Active Backup before anything completes.
+  for (net::NodeId id : d->combiner_group) {
+    fw.sim()->ScheduleAt(fw.sim()->now() + kSecond,
+                         [&fw, id]() { fw.network()->Kill(id); });
+  }
+  exec::ExecutionConfig ec;
+  ec.collection_window = 30 * kSecond;
+  ec.deadline = 3 * kMinute;
+  ec.inject_failures = false;
+  auto report = fw.Execute(*d, ec);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->success);
+}
+
+TEST(FailurePathsTest, SingleCombinerDeathAbsorbedByActiveBackup) {
+  FrameworkConfig cfg;
+  cfg.fleet.num_contributors = 100;
+  cfg.fleet.num_processors = 30;
+  cfg.fleet.enable_churn = false;
+  cfg.seed = 3;
+  EdgeletFramework fw(cfg);
+  ASSERT_TRUE(fw.Init().ok());
+  auto d = fw.Plan(MiniQuery(), {}, {0.1, 0.99}, Strategy::kOvercollection);
+  ASSERT_TRUE(d.ok());
+  net::NodeId primary = d->combiner_group[0];
+  fw.sim()->ScheduleAt(fw.sim()->now() + kSecond,
+                       [&fw, primary]() { fw.network()->Kill(primary); });
+  exec::ExecutionConfig ec;
+  ec.collection_window = 30 * kSecond;
+  ec.deadline = 3 * kMinute;
+  ec.inject_failures = false;
+  auto report = fw.Execute(*d, ec);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->success);  // the Active Backup delivered
+  auto validity = fw.VerifyGroupingSets(*d, *report);
+  ASSERT_TRUE(validity.ok());
+  EXPECT_TRUE(validity->valid) << validity->detail;
+}
+
+TEST(FailurePathsTest, QuerierReceivesDuplicatesFromActiveBackup) {
+  FrameworkConfig cfg;
+  cfg.fleet.num_contributors = 100;
+  cfg.fleet.num_processors = 30;
+  cfg.fleet.enable_churn = false;
+  cfg.seed = 5;
+  EdgeletFramework fw(cfg);
+  ASSERT_TRUE(fw.Init().ok());
+  auto d = fw.Plan(MiniQuery(), {}, {0.05, 0.99}, Strategy::kOvercollection);
+  ASSERT_TRUE(d.ok());
+  exec::ExecutionConfig ec;
+  ec.collection_window = 30 * kSecond;
+  ec.deadline = 3 * kMinute;
+  ec.inject_failures = false;
+  auto report = fw.Execute(*d, ec);
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(report->success);
+  // Two active combiners each emit (plus re-emissions): everything beyond
+  // the first accepted delivery is counted as a deduplicated duplicate.
+  EXPECT_GE(report->duplicate_results, 1u);
+}
+
+TEST(FailurePathsTest, UnknownColumnsFailAtPlanTimeNotRunTime) {
+  FrameworkConfig cfg;
+  cfg.fleet.num_contributors = 20;
+  cfg.fleet.num_processors = 10;
+  cfg.fleet.enable_churn = false;
+  EdgeletFramework fw(cfg);
+  ASSERT_TRUE(fw.Init().ok());
+  query::Query q = MiniQuery();
+  q.grouping_sets.sets = {{"no_such_column"}};
+  auto d = fw.Plan(q, {}, {}, Strategy::kOvercollection);
+  EXPECT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace edgelet::core

@@ -1,0 +1,178 @@
+#include "exec/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "exec/execution.h"
+
+namespace edgelet::exec {
+namespace {
+
+data::Table SmallTable() {
+  data::HealthDataParams params;
+  params.num_individuals = 5;
+  return data::GenerateHealthData(params, 3);
+}
+
+TEST(ProtocolTest, ContributionRoundTrip) {
+  ContributionMsg msg;
+  msg.query_id = 42;
+  msg.contributor_key = 1337;
+  msg.rows = SmallTable();
+  auto back = ContributionMsg::Decode(msg.Encode());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->query_id, 42u);
+  EXPECT_EQ(back->contributor_key, 1337u);
+  EXPECT_EQ(back->rows, msg.rows);
+}
+
+TEST(ProtocolTest, SnapshotSliceRoundTrip) {
+  SnapshotSliceMsg msg;
+  msg.query_id = 1;
+  msg.partition = 3;
+  msg.vgroup = 2;
+  msg.epoch = 1;
+  msg.rows = SmallTable();
+  auto back = SnapshotSliceMsg::Decode(msg.Encode());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->partition, 3u);
+  EXPECT_EQ(back->vgroup, 2u);
+  EXPECT_EQ(back->epoch, 1u);
+  EXPECT_EQ(back->rows, msg.rows);
+}
+
+TEST(ProtocolTest, GsPartialRoundTrip) {
+  query::GroupingSetsSpec spec{
+      {{"region"}},
+      {{query::AggregateFunction::kCount, "*"}}};
+  auto result = query::GroupingSetsResult::Compute(SmallTable(), spec);
+  ASSERT_TRUE(result.ok());
+  GsPartialMsg msg;
+  msg.query_id = 9;
+  msg.partition = 1;
+  msg.vgroup = 0;
+  msg.epoch = 2;
+  msg.result = *result;
+  auto back = GsPartialMsg::Decode(msg.Encode());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->partition, 1u);
+  auto t1 = back->result.Finalize();
+  auto t2 = result->Finalize();
+  ASSERT_TRUE(t1.ok() && t2.ok());
+  EXPECT_EQ(*t1, *t2);
+}
+
+TEST(ProtocolTest, KmMessagesRoundTrip) {
+  KmKnowledgeMsg k;
+  k.query_id = 5;
+  k.partition = 2;
+  k.round = 7;
+  k.knowledge = {{{1.0, 2.0}, {3.0, 4.0}}, {10, 20}};
+  auto kb = KmKnowledgeMsg::Decode(k.Encode());
+  ASSERT_TRUE(kb.ok());
+  EXPECT_EQ(kb->round, 7u);
+  EXPECT_EQ(kb->knowledge, k.knowledge);
+
+  KmFinalMsg f;
+  f.query_id = 5;
+  f.partition = 2;
+  f.knowledge = k.knowledge;
+  query::AggregateState s;
+  ASSERT_TRUE(s.Add(data::Value(3.5)).ok());
+  f.stats.per_cluster = {{s}, {s}};
+  auto fb = KmFinalMsg::Decode(f.Encode());
+  ASSERT_TRUE(fb.ok());
+  EXPECT_EQ(fb->knowledge, f.knowledge);
+  ASSERT_EQ(fb->stats.per_cluster.size(), 2u);
+  EXPECT_EQ(fb->stats.per_cluster[0][0], s);
+}
+
+TEST(ProtocolTest, FinalResultRoundTrip) {
+  FinalResultMsg msg;
+  msg.query_id = 11;
+  msg.partitions = {0, 2, 5};
+  msg.epochs = {0, 1, 0, 0, 2, 0};  // 2 vgroups per partition
+  msg.result = SmallTable();
+  auto back = FinalResultMsg::Decode(msg.Encode());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->partitions, msg.partitions);
+  EXPECT_EQ(back->epochs, msg.epochs);
+  EXPECT_EQ(back->result, msg.result);
+}
+
+TEST(ProtocolTest, LeaderPingRoundTrip) {
+  LeaderPingMsg ping{0xDEADBEEF12345678ULL, 3};
+  auto back = LeaderPingMsg::Decode(ping.Encode());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->group_id, ping.group_id);
+  EXPECT_EQ(back->rank, 3u);
+}
+
+TEST(ProtocolTest, TruncatedMessagesFail) {
+  ContributionMsg msg;
+  msg.query_id = 1;
+  msg.rows = SmallTable();
+  Bytes full = msg.Encode();
+  for (size_t cut : {0u, 4u, 12u}) {
+    Bytes truncated(full.begin(), full.begin() + cut);
+    EXPECT_FALSE(ContributionMsg::Decode(truncated).ok()) << cut;
+  }
+}
+
+TEST(ClusterStatsTest, PermuteReorders) {
+  query::AggregateState a, b;
+  ASSERT_TRUE(a.Add(data::Value(1.0)).ok());
+  ASSERT_TRUE(b.Add(data::Value(2.0)).ok());
+  ClusterStats stats;
+  stats.per_cluster = {{a}, {b}};
+  stats.Permute({1, 0});  // cluster 0 -> index 1, cluster 1 -> index 0
+  EXPECT_EQ(stats.per_cluster[1][0], a);
+  EXPECT_EQ(stats.per_cluster[0][0], b);
+}
+
+TEST(ClusterStatsTest, PermuteWithBadIndicesKeepsInPlace) {
+  query::AggregateState a;
+  ASSERT_TRUE(a.Add(data::Value(1.0)).ok());
+  ClusterStats stats;
+  stats.per_cluster = {{a}};
+  stats.Permute({7});  // out of range: identity fallback
+  EXPECT_EQ(stats.per_cluster[0][0], a);
+}
+
+TEST(ClusterStatsTest, MergeAccumulates) {
+  query::AggregateState a, b;
+  ASSERT_TRUE(a.Add(data::Value(1.0)).ok());
+  ASSERT_TRUE(b.Add(data::Value(3.0)).ok());
+  ClusterStats s1, s2;
+  s1.per_cluster = {{a}};
+  s2.per_cluster = {{b}};
+  ASSERT_TRUE(s1.MergeFrom(s2).ok());
+  EXPECT_DOUBLE_EQ(
+      s1.per_cluster[0][0].Finalize(query::AggregateFunction::kAvg)
+          .AsDouble(),
+      2.0);
+}
+
+TEST(ClusterStatsTest, MergeIntoEmptyAdopts) {
+  query::AggregateState a;
+  ASSERT_TRUE(a.Add(data::Value(5.0)).ok());
+  ClusterStats empty, other;
+  other.per_cluster = {{a}};
+  ASSERT_TRUE(empty.MergeFrom(other).ok());
+  EXPECT_EQ(empty.per_cluster.size(), 1u);
+}
+
+TEST(ClusterStatsTest, MergeShapeMismatchFails) {
+  ClusterStats s1, s2;
+  s1.per_cluster = {{query::AggregateState{}}};
+  s2.per_cluster = {{query::AggregateState{}}, {query::AggregateState{}}};
+  EXPECT_FALSE(s1.MergeFrom(s2).ok());
+}
+
+TEST(ProtocolTest, StrategyNames) {
+  EXPECT_EQ(StrategyName(Strategy::kOvercollection), "Overcollection");
+  EXPECT_EQ(StrategyName(Strategy::kBackup), "Backup");
+}
+
+}  // namespace
+}  // namespace edgelet::exec

@@ -1,0 +1,129 @@
+#include "exec/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "core/framework.h"
+
+namespace edgelet::exec {
+namespace {
+
+TEST(TraceTest, RecordAndCount) {
+  ExecutionTrace trace;
+  trace.Record(10, TraceEventKind::kContributionSent, 1);
+  trace.Record(20, TraceEventKind::kContributionSent, 2);
+  trace.Record(30, TraceEventKind::kResultDelivered, 3, -1, -1, "done");
+  EXPECT_EQ(trace.events().size(), 3u);
+  EXPECT_EQ(trace.CountOf(TraceEventKind::kContributionSent), 2u);
+  EXPECT_EQ(trace.CountOf(TraceEventKind::kResultDelivered), 1u);
+  EXPECT_EQ(trace.CountOf(TraceEventKind::kDeviceKilled), 0u);
+}
+
+TEST(TraceTest, TimelineRendersEvents) {
+  ExecutionTrace trace;
+  trace.Record(5 * kSecond, TraceEventKind::kSnapshotComplete, 7, 2, 0,
+               "20 tuples");
+  std::string timeline = trace.ToTimeline();
+  EXPECT_NE(timeline.find("snapshot-complete"), std::string::npos);
+  EXPECT_NE(timeline.find("part=2"), std::string::npos);
+  EXPECT_NE(timeline.find("20 tuples"), std::string::npos);
+}
+
+TEST(TraceTest, BulkContributionsSummarized) {
+  ExecutionTrace trace;
+  for (int i = 0; i < 100; ++i) {
+    trace.Record(i, TraceEventKind::kContributionSent, i + 1);
+  }
+  std::string timeline = trace.ToTimeline();
+  EXPECT_NE(timeline.find("100 contributions"), std::string::npos);
+  // Not one line per contribution.
+  EXPECT_LT(std::count(timeline.begin(), timeline.end(), '\n'), 5);
+}
+
+TEST(TraceTest, PhaseSummarySkipsEmptyPhases) {
+  ExecutionTrace trace;
+  trace.Record(1, TraceEventKind::kResultDelivered, 1);
+  std::string summary = trace.PhaseSummary();
+  EXPECT_NE(summary.find("result delivered"), std::string::npos);
+  EXPECT_EQ(summary.find("devices killed"), std::string::npos);
+}
+
+TEST(TraceTest, EndToEndExecutionProducesCoherentTrace) {
+  core::FrameworkConfig cfg;
+  cfg.fleet.num_contributors = 150;
+  cfg.fleet.num_processors = 40;
+  cfg.fleet.enable_churn = false;
+  cfg.seed = 55;
+  core::EdgeletFramework fw(cfg);
+  ASSERT_TRUE(fw.Init().ok());
+
+  query::Query q;
+  q.query_id = 1;
+  q.kind = query::QueryKind::kGroupingSets;
+  q.predicates = {{"age", query::CompareOp::kGt, data::Value(int64_t{65})}};
+  q.snapshot_cardinality = 40;
+  q.grouping_sets = query::GroupingSetsSpec{
+      {{"region"}}, {{query::AggregateFunction::kCount, "*"}}};
+
+  core::PrivacyConfig privacy;
+  privacy.max_tuples_per_edgelet = 10;
+  auto d = fw.Plan(q, privacy, {0.05, 0.99}, Strategy::kOvercollection);
+  ASSERT_TRUE(d.ok());
+
+  ExecutionConfig ec;
+  ec.collection_window = 60 * kSecond;
+  ec.deadline = 8 * kMinute;
+  ec.inject_failures = false;
+  ec.enable_trace = true;
+  auto report = fw.Execute(*d, ec);
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(report->success);
+
+  const QueryExecution* execution = fw.last_execution();
+  ASSERT_NE(execution, nullptr);
+  const ExecutionTrace* trace = execution->trace();
+  ASSERT_NE(trace, nullptr);
+
+  // Coherence: contributions >= snapshot quota coverage; one snapshot per
+  // surviving chain; exactly one delivery; phases ordered.
+  EXPECT_GE(trace->CountOf(TraceEventKind::kContributionSent),
+            static_cast<size_t>(d->n) * d->quota);
+  EXPECT_GE(trace->CountOf(TraceEventKind::kSnapshotComplete),
+            static_cast<size_t>(d->n));
+  EXPECT_GE(trace->CountOf(TraceEventKind::kPartialEmitted),
+            static_cast<size_t>(d->n));
+  EXPECT_EQ(trace->CountOf(TraceEventKind::kResultDelivered), 1u);
+
+  SimTime first_contribution = kSimTimeNever, delivery = 0;
+  for (const auto& e : trace->events()) {
+    if (e.kind == TraceEventKind::kContributionSent) {
+      first_contribution = std::min(first_contribution, e.time);
+    }
+    if (e.kind == TraceEventKind::kResultDelivered) delivery = e.time;
+  }
+  EXPECT_LT(first_contribution, delivery);
+}
+
+TEST(TraceTest, DisabledByDefault) {
+  core::FrameworkConfig cfg;
+  cfg.fleet.num_contributors = 20;
+  cfg.fleet.num_processors = 10;
+  cfg.fleet.enable_churn = false;
+  core::EdgeletFramework fw(cfg);
+  ASSERT_TRUE(fw.Init().ok());
+  query::Query q;
+  q.kind = query::QueryKind::kGroupingSets;
+  q.snapshot_cardinality = 5;
+  q.grouping_sets = query::GroupingSetsSpec{
+      {{"region"}}, {{query::AggregateFunction::kCount, "*"}}};
+  auto d = fw.Plan(q, {}, {0.0, 0.9}, Strategy::kOvercollection);
+  ASSERT_TRUE(d.ok());
+  ExecutionConfig ec;
+  ec.inject_failures = false;
+  auto report = fw.Execute(*d, ec);
+  ASSERT_TRUE(report.ok());
+  ASSERT_NE(fw.last_execution(), nullptr);
+  EXPECT_EQ(fw.last_execution()->trace(), nullptr);
+}
+
+}  // namespace
+}  // namespace edgelet::exec

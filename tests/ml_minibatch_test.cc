@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "ml/kmeans.h"
+#include "ml/metrics.h"
+
+namespace edgelet::ml {
+namespace {
+
+Matrix Blobs(int per_blob, uint64_t seed) {
+  Rng rng(seed);
+  const double centers[3][2] = {{0, 0}, {12, 12}, {-12, 12}};
+  Matrix points;
+  for (int b = 0; b < 3; ++b) {
+    for (int i = 0; i < per_blob; ++i) {
+      points.push_back({centers[b][0] + rng.NextGaussian() * 0.6,
+                        centers[b][1] + rng.NextGaussian() * 0.6});
+    }
+  }
+  return points;
+}
+
+TEST(MiniBatchTest, StepMovesCentroidsTowardData) {
+  Matrix points(50, {10.0, 10.0});
+  Matrix centroids = {{0.0, 0.0}};
+  std::vector<uint64_t> counts;
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(
+        RunMiniBatchStep(points, 10, &rng, &centroids, &counts).ok());
+  }
+  EXPECT_NEAR(centroids[0][0], 10.0, 0.5);
+  EXPECT_NEAR(centroids[0][1], 10.0, 0.5);
+  EXPECT_GT(counts[0], 0u);
+}
+
+TEST(MiniBatchTest, EmptyPointsIsNoop) {
+  Matrix centroids = {{1.0, 1.0}};
+  std::vector<uint64_t> counts;
+  Rng rng(1);
+  ASSERT_TRUE(RunMiniBatchStep({}, 10, &rng, &centroids, &counts).ok());
+  EXPECT_EQ(centroids[0], (std::vector<double>{1.0, 1.0}));
+}
+
+TEST(MiniBatchTest, NoCentroidsFails) {
+  Matrix centroids;
+  std::vector<uint64_t> counts;
+  Rng rng(1);
+  EXPECT_FALSE(
+      RunMiniBatchStep({{1.0}}, 10, &rng, &centroids, &counts).ok());
+}
+
+TEST(MiniBatchTest, BatchLargerThanDataClamped) {
+  Matrix points = {{5.0}, {7.0}};
+  Matrix centroids = {{0.0}};
+  std::vector<uint64_t> counts;
+  Rng rng(1);
+  ASSERT_TRUE(
+      RunMiniBatchStep(points, 1000, &rng, &centroids, &counts).ok());
+  EXPECT_GT(centroids[0][0], 0.0);
+}
+
+TEST(MiniBatchTest, FullRunRecoversBlobs) {
+  Matrix points = Blobs(200, 5);
+  MiniBatchConfig config;
+  config.k = 3;
+  config.batch_size = 50;
+  config.iterations = 60;
+  config.seed = 2;
+  auto result = RunMiniBatchKMeans(points, config);
+  ASSERT_TRUE(result.ok());
+  Matrix truth = {{0, 0}, {12, 12}, {-12, 12}};
+  auto rmse = MatchedCentroidRmse(result->centroids, truth);
+  ASSERT_TRUE(rmse.ok());
+  EXPECT_LT(*rmse, 1.0);
+  uint64_t total = 0;
+  for (uint64_t c : result->counts) total += c;
+  EXPECT_EQ(total, points.size());  // final hard assignment covers all
+}
+
+TEST(MiniBatchTest, DeterministicForSeed) {
+  Matrix points = Blobs(100, 7);
+  MiniBatchConfig config;
+  config.k = 3;
+  config.seed = 9;
+  auto a = RunMiniBatchKMeans(points, config);
+  auto b = RunMiniBatchKMeans(points, config);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(MiniBatchTest, ComparableToLloydOnSeparableData) {
+  Matrix points = Blobs(150, 11);
+  MiniBatchConfig mb;
+  mb.k = 3;
+  mb.batch_size = 64;
+  mb.iterations = 80;
+  mb.seed = 3;
+  KMeansConfig full;
+  full.k = 3;
+  full.seed = 3;
+  auto mini = RunMiniBatchKMeans(points, mb);
+  auto lloyd = RunKMeans(points, full);
+  ASSERT_TRUE(mini.ok() && lloyd.ok());
+  auto mini_inertia = Inertia(points, mini->centroids);
+  auto lloyd_inertia = Inertia(points, lloyd->centroids);
+  ASSERT_TRUE(mini_inertia.ok() && lloyd_inertia.ok());
+  // The paper's premise: resampling per iteration stays close to (and can
+  // even beat) full-batch quality.
+  EXPECT_LT(*mini_inertia, 1.3 * *lloyd_inertia);
+}
+
+}  // namespace
+}  // namespace edgelet::ml

@@ -1,0 +1,131 @@
+#include "net/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace edgelet::net {
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0u);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(30, [&] { order.push_back(3); });
+  sim.ScheduleAt(10, [&] { order.push_back(1); });
+  sim.ScheduleAt(20, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30u);
+}
+
+TEST(SimulatorTest, TiesBreakFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(5, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulatorTest, ScheduleAfterAdvancesClock) {
+  Simulator sim;
+  SimTime seen = 0;
+  sim.ScheduleAfter(100, [&] {
+    seen = sim.now();
+    sim.ScheduleAfter(50, [&] { seen = sim.now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(seen, 150u);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(10, [&] { ++fired; });
+  sim.ScheduleAt(20, [&] { ++fired; });
+  sim.ScheduleAt(30, [&] { ++fired; });
+  size_t executed = sim.RunUntil(20);
+  EXPECT_EQ(executed, 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.Run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  int fired = 0;
+  uint64_t id = sim.ScheduleAt(10, [&] { ++fired; });
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(id));  // double-cancel
+  sim.Run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(SimulatorTest, CancelAfterExecutionReturnsFalse) {
+  Simulator sim;
+  uint64_t id = sim.ScheduleAt(1, [] {});
+  sim.Run();
+  EXPECT_FALSE(sim.Cancel(id));
+}
+
+TEST(SimulatorTest, CancelUnknownIdReturnsFalse) {
+  Simulator sim;
+  EXPECT_FALSE(sim.Cancel(12345));
+}
+
+TEST(SimulatorTest, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&]() {
+    if (++depth < 100) sim.ScheduleAfter(1, recurse);
+  };
+  sim.ScheduleAt(0, recurse);
+  sim.Run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.now(), 99u);
+  EXPECT_EQ(sim.events_executed(), 100u);
+}
+
+TEST(SimulatorTest, StepExecutesExactlyOne) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(1, [&] { ++fired; });
+  sim.ScheduleAt(2, [&] { ++fired; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulatorTest, DeterministicRngAttached) {
+  Simulator a(77), b(77);
+  EXPECT_EQ(a.rng().NextU64(), b.rng().NextU64());
+}
+
+TEST(SimulatorTest, ManyEventsStressOrdering) {
+  Simulator sim(3);
+  SimTime last = 0;
+  bool monotone = true;
+  for (int i = 0; i < 10000; ++i) {
+    SimTime t = sim.rng().NextBelow(100000);
+    sim.ScheduleAt(t, [&, t] {
+      if (sim.now() < last) monotone = false;
+      last = sim.now();
+    });
+  }
+  sim.Run();
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(sim.events_executed(), 10000u);
+}
+
+}  // namespace
+}  // namespace edgelet::net

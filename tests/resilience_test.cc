@@ -1,0 +1,171 @@
+#include "resilience/overcollection.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace edgelet::resilience {
+namespace {
+
+TEST(ProbAtLeastTest, DegenerateCases) {
+  EXPECT_DOUBLE_EQ(ProbAtLeast(0, 10, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(ProbAtLeast(11, 10, 0.99), 0.0);
+  EXPECT_DOUBLE_EQ(ProbAtLeast(5, 10, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(ProbAtLeast(5, 10, 0.0), 0.0);
+}
+
+TEST(ProbAtLeastTest, MatchesClosedForms) {
+  // P[>=1 of 2 @ 0.5] = 0.75
+  EXPECT_NEAR(ProbAtLeast(1, 2, 0.5), 0.75, 1e-12);
+  // P[>=2 of 2 @ 0.9] = 0.81
+  EXPECT_NEAR(ProbAtLeast(2, 2, 0.9), 0.81, 1e-12);
+  // P[>=2 of 3 @ 0.5] = 0.5
+  EXPECT_NEAR(ProbAtLeast(2, 3, 0.5), 0.5, 1e-12);
+}
+
+TEST(ProbAtLeastTest, MonotoneInSurvival) {
+  double prev = 0.0;
+  for (double s = 0.05; s < 1.0; s += 0.05) {
+    double p = ProbAtLeast(8, 12, s);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(ProbAtLeastTest, MonotoneInTotal) {
+  double prev = 0.0;
+  for (int total = 10; total <= 30; ++total) {
+    double p = ProbAtLeast(10, total, 0.8);
+    EXPECT_GE(p, prev - 1e-12);
+    prev = p;
+  }
+}
+
+TEST(ProbAtLeastTest, AgreesWithMonteCarlo) {
+  edgelet::Rng rng(8);
+  const int need = 7, total = 10;
+  const double s = 0.85;
+  const int trials = 200000;
+  int ok_count = 0;
+  for (int t = 0; t < trials; ++t) {
+    int alive = 0;
+    for (int i = 0; i < total; ++i) alive += rng.NextBernoulli(s);
+    ok_count += (alive >= need);
+  }
+  double mc = static_cast<double>(ok_count) / trials;
+  EXPECT_NEAR(ProbAtLeast(need, total, s), mc, 0.005);
+}
+
+TEST(ProbAtLeastTest, LargeNStable) {
+  // 1000 partitions: log-space computation must not under/overflow.
+  double p = ProbAtLeast(1000, 1100, 0.95);
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 1.0);
+  EXPECT_GT(p, 0.99);  // E[alive] = 1045 >> 1000
+}
+
+TEST(MinOvercollectionTest, ZeroFailureNeedsNoOvercollection) {
+  auto m = MinOvercollection(10, 0.0, 0.999);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(*m, 0);
+}
+
+TEST(MinOvercollectionTest, GrowsWithFailureProbability) {
+  int prev = 0;
+  for (double p : {0.01, 0.05, 0.1, 0.2, 0.3}) {
+    auto m = MinOvercollection(10, p, 0.99);
+    ASSERT_TRUE(m.ok());
+    EXPECT_GE(*m, prev);
+    prev = *m;
+  }
+  EXPECT_GT(prev, 0);
+}
+
+TEST(MinOvercollectionTest, GrowsWithTarget) {
+  auto low = MinOvercollection(10, 0.1, 0.9);
+  auto high = MinOvercollection(10, 0.1, 0.99999);
+  ASSERT_TRUE(low.ok() && high.ok());
+  EXPECT_GT(*high, *low);
+}
+
+TEST(MinOvercollectionTest, ResultActuallyMeetsTarget) {
+  for (double p : {0.02, 0.1, 0.25}) {
+    for (int n : {2, 10, 50}) {
+      auto m = MinOvercollection(n, p, 0.99);
+      ASSERT_TRUE(m.ok());
+      double s = PartitionSurvivalProbability(p, 2);
+      EXPECT_GE(ProbAtLeast(n, n + *m, s), 0.99);
+      if (*m > 0) {
+        EXPECT_LT(ProbAtLeast(n, n + *m - 1, s), 0.99)
+            << "m not minimal for n=" << n << " p=" << p;
+      }
+    }
+  }
+}
+
+TEST(MinOvercollectionTest, MoreOpsPerPartitionNeedsMoreOvercollection) {
+  auto m2 = MinOvercollection(10, 0.1, 0.99, /*ops_per_partition=*/2);
+  auto m4 = MinOvercollection(10, 0.1, 0.99, /*ops_per_partition=*/4);
+  ASSERT_TRUE(m2.ok() && m4.ok());
+  EXPECT_GE(*m4, *m2);
+}
+
+TEST(MinOvercollectionTest, OvercollectionStaysCheap) {
+  // Paper narrative: for realistic p, m << n.
+  auto m = MinOvercollection(100, 0.05, 0.99);
+  ASSERT_TRUE(m.ok());
+  EXPECT_LT(*m, 30);
+}
+
+TEST(MinOvercollectionTest, RejectsBadArguments) {
+  EXPECT_FALSE(MinOvercollection(0, 0.1, 0.99).ok());
+  EXPECT_FALSE(MinOvercollection(10, -0.1, 0.99).ok());
+  EXPECT_FALSE(MinOvercollection(10, 1.0, 0.99).ok());
+  EXPECT_FALSE(MinOvercollection(10, 0.1, 0.0).ok());
+  EXPECT_FALSE(MinOvercollection(10, 0.1, 1.5).ok());
+  EXPECT_FALSE(MinOvercollection(10, 0.1, 0.99, 0).ok());
+}
+
+TEST(MinOvercollectionTest, UnreachableTargetFails) {
+  EXPECT_FALSE(MinOvercollection(10, 0.9, 0.999999, 2, /*max_m=*/3).ok());
+}
+
+TEST(MinBackupReplicasTest, ZeroFailureNeedsNone) {
+  auto b = MinBackupReplicas(20, 0.0, 0.999);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*b, 0);
+}
+
+TEST(MinBackupReplicasTest, MeetsTargetAndMinimal) {
+  for (double p : {0.05, 0.2}) {
+    for (int ops : {5, 20}) {
+      auto b = MinBackupReplicas(ops, p, 0.99);
+      ASSERT_TRUE(b.ok());
+      auto meets = [&](int reps) {
+        return std::pow(1.0 - std::pow(p, reps + 1), ops) >= 0.99;
+      };
+      EXPECT_TRUE(meets(*b));
+      if (*b > 0) {
+        EXPECT_FALSE(meets(*b - 1));
+      }
+    }
+  }
+}
+
+TEST(MinBackupReplicasTest, MoreOperatorsNeedMoreReplicas) {
+  auto few = MinBackupReplicas(2, 0.2, 0.999);
+  auto many = MinBackupReplicas(500, 0.2, 0.999);
+  ASSERT_TRUE(few.ok() && many.ok());
+  EXPECT_GE(*many, *few);
+}
+
+TEST(PartitionSurvivalTest, Basics) {
+  EXPECT_DOUBLE_EQ(PartitionSurvivalProbability(0.0, 3), 1.0);
+  EXPECT_NEAR(PartitionSurvivalProbability(0.1, 2), 0.81, 1e-12);
+  EXPECT_DOUBLE_EQ(PartitionSurvivalProbability(1.0, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace edgelet::resilience

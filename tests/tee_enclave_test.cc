@@ -1,0 +1,172 @@
+#include "tee/enclave.h"
+
+#include <gtest/gtest.h>
+
+namespace edgelet::tee {
+namespace {
+
+class EnclaveTest : public ::testing::Test {
+ protected:
+  EnclaveTest() : authority_(42) {
+    authority_.set_expected_measurement(
+        crypto::Sha256::Hash("edgelet-query-v1"));
+  }
+
+  Enclave MakeEnclave(uint64_t id) {
+    return Enclave(id, "edgelet-query-v1", &authority_);
+  }
+
+  TrustAuthority authority_;
+};
+
+TEST_F(EnclaveTest, AttestationVerifies) {
+  Enclave e = MakeEnclave(1);
+  EXPECT_TRUE(authority_.Verify(e.report()));
+}
+
+TEST_F(EnclaveTest, ForgedReportRejected) {
+  Enclave e = MakeEnclave(1);
+  AttestationReport forged = e.report();
+  forged.enclave_id = 99;  // replay under a different identity
+  EXPECT_FALSE(authority_.Verify(forged));
+}
+
+TEST_F(EnclaveTest, ForgedMeasurementRejected) {
+  Enclave e = MakeEnclave(1);
+  AttestationReport forged = e.report();
+  forged.measurement[0] ^= 1;
+  EXPECT_FALSE(authority_.Verify(forged));
+}
+
+TEST_F(EnclaveTest, ProvisionSucceedsForGenuineCode) {
+  Enclave e = MakeEnclave(1);
+  EXPECT_FALSE(e.provisioned());
+  EXPECT_TRUE(e.Provision().ok());
+  EXPECT_TRUE(e.provisioned());
+}
+
+TEST_F(EnclaveTest, TamperedCodeCannotProvision) {
+  Enclave e = MakeEnclave(1);
+  e.TamperCode("edgelet-query-v1-with-backdoor");
+  // The report is genuine (hardware measures what runs)…
+  EXPECT_TRUE(authority_.Verify(e.report()));
+  // …but the measurement doesn't match the published code.
+  Status s = e.Provision();
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(EnclaveTest, SecureChannelRoundTrip) {
+  Enclave a = MakeEnclave(1);
+  Enclave b = MakeEnclave(2);
+  ASSERT_TRUE(a.Provision().ok());
+  ASSERT_TRUE(b.Provision().ok());
+
+  Bytes aad = BytesFromString("from=1,to=2,type=7,seq=0");
+  Bytes msg = BytesFromString("partial aggregate: sum=123, count=5");
+  auto sealed = a.SealFor(2, /*seq=*/0, aad, msg);
+  ASSERT_TRUE(sealed.ok());
+  EXPECT_NE(*sealed, msg);  // actually encrypted
+
+  auto opened = b.OpenFrom(1, /*seq=*/0, aad, *sealed);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(*opened, msg);
+}
+
+TEST_F(EnclaveTest, ChannelIsDirectional) {
+  Enclave a = MakeEnclave(1);
+  Enclave b = MakeEnclave(2);
+  ASSERT_TRUE(a.Provision().ok());
+  ASSERT_TRUE(b.Provision().ok());
+
+  Bytes aad;
+  auto sealed = a.SealFor(2, 5, aad, BytesFromString("x"));
+  ASSERT_TRUE(sealed.ok());
+  // Opening with the wrong purported sender fails (nonce derives from the
+  // true sender id).
+  EXPECT_FALSE(b.OpenFrom(3, 5, aad, *sealed).ok());
+  // Wrong sequence fails too.
+  EXPECT_FALSE(b.OpenFrom(1, 6, aad, *sealed).ok());
+}
+
+TEST_F(EnclaveTest, ThirdEnclaveCannotDecryptPairTraffic) {
+  Enclave a = MakeEnclave(1);
+  Enclave b = MakeEnclave(2);
+  Enclave c = MakeEnclave(3);
+  ASSERT_TRUE(a.Provision().ok());
+  ASSERT_TRUE(b.Provision().ok());
+  ASSERT_TRUE(c.Provision().ok());
+
+  Bytes aad;
+  auto sealed = a.SealFor(2, 0, aad, BytesFromString("secret"));
+  ASSERT_TRUE(sealed.ok());
+  // c opening "from 1" uses key(1,3) != key(1,2).
+  EXPECT_FALSE(c.OpenFrom(1, 0, aad, *sealed).ok());
+}
+
+TEST_F(EnclaveTest, UnprovisionedCannotUseChannels) {
+  Enclave a = MakeEnclave(1);
+  EXPECT_FALSE(a.SealFor(2, 0, {}, BytesFromString("x")).ok());
+  EXPECT_FALSE(a.OpenFrom(2, 0, {}, Bytes(32, 0)).ok());
+}
+
+TEST_F(EnclaveTest, SealedStorageRoundTrip) {
+  Enclave e = MakeEnclave(1);
+  Bytes data = BytesFromString("medical record #1337");
+  Bytes sealed = e.SealToStorage(data);
+  EXPECT_NE(sealed, data);
+  auto unsealed = e.UnsealFromStorage(sealed);
+  ASSERT_TRUE(unsealed.ok());
+  EXPECT_EQ(*unsealed, data);
+}
+
+TEST_F(EnclaveTest, SealedStorageBoundToEnclave) {
+  Enclave a = MakeEnclave(1);
+  Enclave b = MakeEnclave(2);
+  Bytes sealed = a.SealToStorage(BytesFromString("private"));
+  EXPECT_FALSE(b.UnsealFromStorage(sealed).ok());
+}
+
+TEST_F(EnclaveTest, SealedStorageDetectsTampering) {
+  Enclave e = MakeEnclave(1);
+  Bytes sealed = e.SealToStorage(BytesFromString("private"));
+  sealed.back() ^= 1;
+  EXPECT_FALSE(e.UnsealFromStorage(sealed).ok());
+}
+
+TEST_F(EnclaveTest, SealedStorageUsesFreshNonces) {
+  Enclave e = MakeEnclave(1);
+  Bytes d = BytesFromString("same plaintext");
+  Bytes s1 = e.SealToStorage(d);
+  Bytes s2 = e.SealToStorage(d);
+  EXPECT_NE(s1, s2);  // sequence number advances
+  EXPECT_EQ(*e.UnsealFromStorage(s1), d);
+  EXPECT_EQ(*e.UnsealFromStorage(s2), d);
+}
+
+TEST_F(EnclaveTest, SealedGlassExposureAccounting) {
+  Enclave e = MakeEnclave(1);
+  EXPECT_FALSE(e.sealed_glass_compromised());
+  e.set_sealed_glass_compromised(true);
+  EXPECT_TRUE(e.sealed_glass_compromised());
+
+  e.RecordClearTextTuples(100, 8);
+  e.RecordClearTextTuples(50, 8);
+  EXPECT_EQ(e.cleartext_tuples_observed(), 150u);
+  EXPECT_EQ(e.cleartext_cells_observed(), 1200u);
+}
+
+TEST_F(EnclaveTest, DifferentAuthoritiesDoNotTrustEachOther) {
+  TrustAuthority other(43);
+  Enclave e = MakeEnclave(1);
+  EXPECT_FALSE(other.Verify(e.report()));
+}
+
+TEST_F(EnclaveTest, ProvisionWithoutExpectedMeasurementAcceptsAnyGenuine) {
+  TrustAuthority open_authority(7);
+  Enclave e(1, "any-code", &open_authority);
+  EXPECT_TRUE(e.Provision().ok());
+}
+
+}  // namespace
+}  // namespace edgelet::tee
