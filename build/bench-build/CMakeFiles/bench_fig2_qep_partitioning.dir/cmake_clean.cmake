@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_qep_partitioning"
+  "../bench/bench_fig2_qep_partitioning.pdb"
+  "CMakeFiles/bench_fig2_qep_partitioning.dir/bench_fig2_qep_partitioning.cpp.o"
+  "CMakeFiles/bench_fig2_qep_partitioning.dir/bench_fig2_qep_partitioning.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_qep_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

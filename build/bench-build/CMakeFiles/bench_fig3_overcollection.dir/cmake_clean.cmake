@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_overcollection"
+  "../bench/bench_fig3_overcollection.pdb"
+  "CMakeFiles/bench_fig3_overcollection.dir/bench_fig3_overcollection.cpp.o"
+  "CMakeFiles/bench_fig3_overcollection.dir/bench_fig3_overcollection.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_overcollection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_kmeans_heartbeats"
+  "../bench/bench_kmeans_heartbeats.pdb"
+  "CMakeFiles/bench_kmeans_heartbeats.dir/bench_kmeans_heartbeats.cpp.o"
+  "CMakeFiles/bench_kmeans_heartbeats.dir/bench_kmeans_heartbeats.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kmeans_heartbeats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_part1_configuration"
+  "../bench/bench_part1_configuration.pdb"
+  "CMakeFiles/bench_part1_configuration.dir/bench_part1_configuration.cpp.o"
+  "CMakeFiles/bench_part1_configuration.dir/bench_part1_configuration.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_part1_configuration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

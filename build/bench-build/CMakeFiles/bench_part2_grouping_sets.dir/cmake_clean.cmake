@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_part2_grouping_sets"
+  "../bench/bench_part2_grouping_sets.pdb"
+  "CMakeFiles/bench_part2_grouping_sets.dir/bench_part2_grouping_sets.cpp.o"
+  "CMakeFiles/bench_part2_grouping_sets.dir/bench_part2_grouping_sets.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_part2_grouping_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

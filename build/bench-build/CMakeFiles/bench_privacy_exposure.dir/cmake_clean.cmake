@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_privacy_exposure"
+  "../bench/bench_privacy_exposure.pdb"
+  "CMakeFiles/bench_privacy_exposure.dir/bench_privacy_exposure.cpp.o"
+  "CMakeFiles/bench_privacy_exposure.dir/bench_privacy_exposure.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_privacy_exposure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demo_walkthrough.dir/demo_walkthrough.cpp.o"
+  "CMakeFiles/demo_walkthrough.dir/demo_walkthrough.cpp.o.d"
+  "demo_walkthrough"
+  "demo_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demo_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

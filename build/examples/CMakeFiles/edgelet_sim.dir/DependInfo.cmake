@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/edgelet_sim.cpp" "examples/CMakeFiles/edgelet_sim.dir/edgelet_sim.cpp.o" "gcc" "examples/CMakeFiles/edgelet_sim.dir/edgelet_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/edgelet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgelet_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgelet_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgelet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgelet_tee.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgelet_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgelet_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgelet_resilience.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgelet_privacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgelet_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgelet_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgelet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

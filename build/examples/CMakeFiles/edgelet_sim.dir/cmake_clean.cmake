@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgelet_sim.dir/edgelet_sim.cpp.o"
+  "CMakeFiles/edgelet_sim.dir/edgelet_sim.cpp.o.d"
+  "edgelet_sim"
+  "edgelet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgelet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/health_survey.dir/health_survey.cpp.o"
+  "CMakeFiles/health_survey.dir/health_survey.cpp.o.d"
+  "health_survey"
+  "health_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/health_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opportunistic_polling.dir/opportunistic_polling.cpp.o"
+  "CMakeFiles/opportunistic_polling.dir/opportunistic_polling.cpp.o.d"
+  "opportunistic_polling"
+  "opportunistic_polling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opportunistic_polling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgelet_common.dir/common/bytes.cc.o"
+  "CMakeFiles/edgelet_common.dir/common/bytes.cc.o.d"
+  "CMakeFiles/edgelet_common.dir/common/hash.cc.o"
+  "CMakeFiles/edgelet_common.dir/common/hash.cc.o.d"
+  "CMakeFiles/edgelet_common.dir/common/logging.cc.o"
+  "CMakeFiles/edgelet_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/edgelet_common.dir/common/rng.cc.o"
+  "CMakeFiles/edgelet_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/edgelet_common.dir/common/serialize.cc.o"
+  "CMakeFiles/edgelet_common.dir/common/serialize.cc.o.d"
+  "CMakeFiles/edgelet_common.dir/common/sim_time.cc.o"
+  "CMakeFiles/edgelet_common.dir/common/sim_time.cc.o.d"
+  "CMakeFiles/edgelet_common.dir/common/status.cc.o"
+  "CMakeFiles/edgelet_common.dir/common/status.cc.o.d"
+  "libedgelet_common.a"
+  "libedgelet_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgelet_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgelet_core.dir/core/framework.cc.o"
+  "CMakeFiles/edgelet_core.dir/core/framework.cc.o.d"
+  "CMakeFiles/edgelet_core.dir/core/planner.cc.o"
+  "CMakeFiles/edgelet_core.dir/core/planner.cc.o.d"
+  "libedgelet_core.a"
+  "libedgelet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgelet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgelet_crypto.dir/crypto/aead.cc.o"
+  "CMakeFiles/edgelet_crypto.dir/crypto/aead.cc.o.d"
+  "CMakeFiles/edgelet_crypto.dir/crypto/chacha20.cc.o"
+  "CMakeFiles/edgelet_crypto.dir/crypto/chacha20.cc.o.d"
+  "CMakeFiles/edgelet_crypto.dir/crypto/poly1305.cc.o"
+  "CMakeFiles/edgelet_crypto.dir/crypto/poly1305.cc.o.d"
+  "CMakeFiles/edgelet_crypto.dir/crypto/sha256.cc.o"
+  "CMakeFiles/edgelet_crypto.dir/crypto/sha256.cc.o.d"
+  "libedgelet_crypto.a"
+  "libedgelet_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgelet_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgelet_data.dir/data/csv.cc.o"
+  "CMakeFiles/edgelet_data.dir/data/csv.cc.o.d"
+  "CMakeFiles/edgelet_data.dir/data/generator.cc.o"
+  "CMakeFiles/edgelet_data.dir/data/generator.cc.o.d"
+  "CMakeFiles/edgelet_data.dir/data/partition.cc.o"
+  "CMakeFiles/edgelet_data.dir/data/partition.cc.o.d"
+  "CMakeFiles/edgelet_data.dir/data/schema.cc.o"
+  "CMakeFiles/edgelet_data.dir/data/schema.cc.o.d"
+  "CMakeFiles/edgelet_data.dir/data/table.cc.o"
+  "CMakeFiles/edgelet_data.dir/data/table.cc.o.d"
+  "CMakeFiles/edgelet_data.dir/data/value.cc.o"
+  "CMakeFiles/edgelet_data.dir/data/value.cc.o.d"
+  "libedgelet_data.a"
+  "libedgelet_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgelet_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

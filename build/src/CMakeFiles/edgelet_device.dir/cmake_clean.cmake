@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgelet_device.dir/device/device.cc.o"
+  "CMakeFiles/edgelet_device.dir/device/device.cc.o.d"
+  "CMakeFiles/edgelet_device.dir/device/fleet.cc.o"
+  "CMakeFiles/edgelet_device.dir/device/fleet.cc.o.d"
+  "libedgelet_device.a"
+  "libedgelet_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgelet_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

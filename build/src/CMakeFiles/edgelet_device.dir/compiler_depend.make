@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for edgelet_device.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/actor.cc" "src/CMakeFiles/edgelet_exec.dir/exec/actor.cc.o" "gcc" "src/CMakeFiles/edgelet_exec.dir/exec/actor.cc.o.d"
+  "/root/repo/src/exec/combiner.cc" "src/CMakeFiles/edgelet_exec.dir/exec/combiner.cc.o" "gcc" "src/CMakeFiles/edgelet_exec.dir/exec/combiner.cc.o.d"
+  "/root/repo/src/exec/computer.cc" "src/CMakeFiles/edgelet_exec.dir/exec/computer.cc.o" "gcc" "src/CMakeFiles/edgelet_exec.dir/exec/computer.cc.o.d"
+  "/root/repo/src/exec/execution.cc" "src/CMakeFiles/edgelet_exec.dir/exec/execution.cc.o" "gcc" "src/CMakeFiles/edgelet_exec.dir/exec/execution.cc.o.d"
+  "/root/repo/src/exec/protocol.cc" "src/CMakeFiles/edgelet_exec.dir/exec/protocol.cc.o" "gcc" "src/CMakeFiles/edgelet_exec.dir/exec/protocol.cc.o.d"
+  "/root/repo/src/exec/replica.cc" "src/CMakeFiles/edgelet_exec.dir/exec/replica.cc.o" "gcc" "src/CMakeFiles/edgelet_exec.dir/exec/replica.cc.o.d"
+  "/root/repo/src/exec/snapshot_builder.cc" "src/CMakeFiles/edgelet_exec.dir/exec/snapshot_builder.cc.o" "gcc" "src/CMakeFiles/edgelet_exec.dir/exec/snapshot_builder.cc.o.d"
+  "/root/repo/src/exec/trace.cc" "src/CMakeFiles/edgelet_exec.dir/exec/trace.cc.o" "gcc" "src/CMakeFiles/edgelet_exec.dir/exec/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/edgelet_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgelet_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgelet_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgelet_resilience.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgelet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgelet_tee.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgelet_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgelet_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgelet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgelet_exec.dir/exec/actor.cc.o"
+  "CMakeFiles/edgelet_exec.dir/exec/actor.cc.o.d"
+  "CMakeFiles/edgelet_exec.dir/exec/combiner.cc.o"
+  "CMakeFiles/edgelet_exec.dir/exec/combiner.cc.o.d"
+  "CMakeFiles/edgelet_exec.dir/exec/computer.cc.o"
+  "CMakeFiles/edgelet_exec.dir/exec/computer.cc.o.d"
+  "CMakeFiles/edgelet_exec.dir/exec/execution.cc.o"
+  "CMakeFiles/edgelet_exec.dir/exec/execution.cc.o.d"
+  "CMakeFiles/edgelet_exec.dir/exec/protocol.cc.o"
+  "CMakeFiles/edgelet_exec.dir/exec/protocol.cc.o.d"
+  "CMakeFiles/edgelet_exec.dir/exec/replica.cc.o"
+  "CMakeFiles/edgelet_exec.dir/exec/replica.cc.o.d"
+  "CMakeFiles/edgelet_exec.dir/exec/snapshot_builder.cc.o"
+  "CMakeFiles/edgelet_exec.dir/exec/snapshot_builder.cc.o.d"
+  "CMakeFiles/edgelet_exec.dir/exec/trace.cc.o"
+  "CMakeFiles/edgelet_exec.dir/exec/trace.cc.o.d"
+  "libedgelet_exec.a"
+  "libedgelet_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgelet_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libedgelet_exec.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgelet_ml.dir/ml/kmeans.cc.o"
+  "CMakeFiles/edgelet_ml.dir/ml/kmeans.cc.o.d"
+  "CMakeFiles/edgelet_ml.dir/ml/metrics.cc.o"
+  "CMakeFiles/edgelet_ml.dir/ml/metrics.cc.o.d"
+  "libedgelet_ml.a"
+  "libedgelet_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgelet_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgelet_net.dir/net/message.cc.o"
+  "CMakeFiles/edgelet_net.dir/net/message.cc.o.d"
+  "CMakeFiles/edgelet_net.dir/net/network.cc.o"
+  "CMakeFiles/edgelet_net.dir/net/network.cc.o.d"
+  "CMakeFiles/edgelet_net.dir/net/simulator.cc.o"
+  "CMakeFiles/edgelet_net.dir/net/simulator.cc.o.d"
+  "libedgelet_net.a"
+  "libedgelet_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgelet_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgelet_privacy.dir/privacy/exposure.cc.o"
+  "CMakeFiles/edgelet_privacy.dir/privacy/exposure.cc.o.d"
+  "CMakeFiles/edgelet_privacy.dir/privacy/vertical_partitioner.cc.o"
+  "CMakeFiles/edgelet_privacy.dir/privacy/vertical_partitioner.cc.o.d"
+  "libedgelet_privacy.a"
+  "libedgelet_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgelet_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

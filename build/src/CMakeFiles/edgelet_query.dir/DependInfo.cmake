@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/aggregate.cc" "src/CMakeFiles/edgelet_query.dir/query/aggregate.cc.o" "gcc" "src/CMakeFiles/edgelet_query.dir/query/aggregate.cc.o.d"
+  "/root/repo/src/query/groupby.cc" "src/CMakeFiles/edgelet_query.dir/query/groupby.cc.o" "gcc" "src/CMakeFiles/edgelet_query.dir/query/groupby.cc.o.d"
+  "/root/repo/src/query/grouping_sets.cc" "src/CMakeFiles/edgelet_query.dir/query/grouping_sets.cc.o" "gcc" "src/CMakeFiles/edgelet_query.dir/query/grouping_sets.cc.o.d"
+  "/root/repo/src/query/hll.cc" "src/CMakeFiles/edgelet_query.dir/query/hll.cc.o" "gcc" "src/CMakeFiles/edgelet_query.dir/query/hll.cc.o.d"
+  "/root/repo/src/query/predicate.cc" "src/CMakeFiles/edgelet_query.dir/query/predicate.cc.o" "gcc" "src/CMakeFiles/edgelet_query.dir/query/predicate.cc.o.d"
+  "/root/repo/src/query/qep.cc" "src/CMakeFiles/edgelet_query.dir/query/qep.cc.o" "gcc" "src/CMakeFiles/edgelet_query.dir/query/qep.cc.o.d"
+  "/root/repo/src/query/quantile.cc" "src/CMakeFiles/edgelet_query.dir/query/quantile.cc.o" "gcc" "src/CMakeFiles/edgelet_query.dir/query/quantile.cc.o.d"
+  "/root/repo/src/query/query.cc" "src/CMakeFiles/edgelet_query.dir/query/query.cc.o" "gcc" "src/CMakeFiles/edgelet_query.dir/query/query.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/edgelet_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/edgelet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

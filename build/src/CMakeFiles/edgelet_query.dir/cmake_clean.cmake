@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgelet_query.dir/query/aggregate.cc.o"
+  "CMakeFiles/edgelet_query.dir/query/aggregate.cc.o.d"
+  "CMakeFiles/edgelet_query.dir/query/groupby.cc.o"
+  "CMakeFiles/edgelet_query.dir/query/groupby.cc.o.d"
+  "CMakeFiles/edgelet_query.dir/query/grouping_sets.cc.o"
+  "CMakeFiles/edgelet_query.dir/query/grouping_sets.cc.o.d"
+  "CMakeFiles/edgelet_query.dir/query/hll.cc.o"
+  "CMakeFiles/edgelet_query.dir/query/hll.cc.o.d"
+  "CMakeFiles/edgelet_query.dir/query/predicate.cc.o"
+  "CMakeFiles/edgelet_query.dir/query/predicate.cc.o.d"
+  "CMakeFiles/edgelet_query.dir/query/qep.cc.o"
+  "CMakeFiles/edgelet_query.dir/query/qep.cc.o.d"
+  "CMakeFiles/edgelet_query.dir/query/quantile.cc.o"
+  "CMakeFiles/edgelet_query.dir/query/quantile.cc.o.d"
+  "CMakeFiles/edgelet_query.dir/query/query.cc.o"
+  "CMakeFiles/edgelet_query.dir/query/query.cc.o.d"
+  "libedgelet_query.a"
+  "libedgelet_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgelet_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

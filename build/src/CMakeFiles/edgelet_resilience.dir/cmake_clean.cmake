@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgelet_resilience.dir/resilience/overcollection.cc.o"
+  "CMakeFiles/edgelet_resilience.dir/resilience/overcollection.cc.o.d"
+  "libedgelet_resilience.a"
+  "libedgelet_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgelet_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgelet_tee.dir/tee/enclave.cc.o"
+  "CMakeFiles/edgelet_tee.dir/tee/enclave.cc.o.d"
+  "libedgelet_tee.a"
+  "libedgelet_tee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgelet_tee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

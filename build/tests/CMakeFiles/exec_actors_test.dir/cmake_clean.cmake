@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_actors_test.dir/exec_actors_test.cc.o"
+  "CMakeFiles/exec_actors_test.dir/exec_actors_test.cc.o.d"
+  "exec_actors_test"
+  "exec_actors_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_actors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_end_to_end_test.dir/exec_end_to_end_test.cc.o"
+  "CMakeFiles/exec_end_to_end_test.dir/exec_end_to_end_test.cc.o.d"
+  "exec_end_to_end_test"
+  "exec_end_to_end_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_end_to_end_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

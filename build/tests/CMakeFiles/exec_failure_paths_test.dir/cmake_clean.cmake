@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_failure_paths_test.dir/exec_failure_paths_test.cc.o"
+  "CMakeFiles/exec_failure_paths_test.dir/exec_failure_paths_test.cc.o.d"
+  "exec_failure_paths_test"
+  "exec_failure_paths_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_failure_paths_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_protocol_test.dir/exec_protocol_test.cc.o"
+  "CMakeFiles/exec_protocol_test.dir/exec_protocol_test.cc.o.d"
+  "exec_protocol_test"
+  "exec_protocol_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

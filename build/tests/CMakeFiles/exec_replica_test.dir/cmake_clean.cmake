@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_replica_test.dir/exec_replica_test.cc.o"
+  "CMakeFiles/exec_replica_test.dir/exec_replica_test.cc.o.d"
+  "exec_replica_test"
+  "exec_replica_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_replica_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_groupby_test.dir/query_groupby_test.cc.o"
+  "CMakeFiles/query_groupby_test.dir/query_groupby_test.cc.o.d"
+  "query_groupby_test"
+  "query_groupby_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_groupby_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

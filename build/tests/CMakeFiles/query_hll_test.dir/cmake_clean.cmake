@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_hll_test.dir/query_hll_test.cc.o"
+  "CMakeFiles/query_hll_test.dir/query_hll_test.cc.o.d"
+  "query_hll_test"
+  "query_hll_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_hll_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_quantile_test.dir/query_quantile_test.cc.o"
+  "CMakeFiles/query_quantile_test.dir/query_quantile_test.cc.o.d"
+  "query_quantile_test"
+  "query_quantile_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_quantile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

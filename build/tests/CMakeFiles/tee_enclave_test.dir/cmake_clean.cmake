@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tee_enclave_test.dir/tee_enclave_test.cc.o"
+  "CMakeFiles/tee_enclave_test.dir/tee_enclave_test.cc.o.d"
+  "tee_enclave_test"
+  "tee_enclave_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tee_enclave_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
