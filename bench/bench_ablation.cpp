@@ -5,31 +5,54 @@
 //       paper: "resampling at each iteration sometimes even produces
 //       better accuracy", citing Mini-batch K-Means).
 //   A3: result re-emission count (uncertain delivery of the final answer).
+//
+// Runs on the parallel trial harness (trial_runner.h). All three ablations
+// flatten into one trial list, so --jobs parallelizes across the whole
+// bench. --trials N sets the A3 trial count (A1/A2 use min(N, 3) seeds).
+
+#include <algorithm>
 
 #include "bench_util.h"
+#include "trial_runner.h"
 
 using namespace edgelet;
 
 namespace {
 
-struct KmOutcome {
+struct TrialSpec {
+  enum Kind { kKMeans, kResend } kind = kKMeans;
+  int cell = 0;  // index into the printed table the trial belongs to
+  int local_iterations = 2;
+  int64_t batch_size = 0;
+  int resends = 0;
+  uint64_t seed = 1;
+};
+
+struct TrialResult {
+  bench::TrialStatus status;
   bool success = false;
   double inertia_ratio = -1;
 };
 
-KmOutcome RunKm(int local_iterations, int64_t batch_size, double drop,
-                uint64_t seed) {
-  core::FrameworkConfig cfg = bench::StandardFleet(700, 60, seed);
-  cfg.network.drop_probability = drop;
+TrialResult RunKm(const TrialSpec& spec) {
+  TrialResult r;
+  core::FrameworkConfig cfg = bench::StandardFleet(700, 60, spec.seed);
+  cfg.network.drop_probability = 0.25;
   core::EdgeletFramework fw(cfg);
-  if (!fw.Init().ok()) return {};
-  query::Query q = bench::ClusterQuery(120, 4, 70 + seed);
-  q.kmeans.local_iterations = local_iterations;
-  q.kmeans.batch_size = batch_size;
+  if (!fw.Init().ok()) {
+    r.status = {true, "init"};
+    return r;
+  }
+  query::Query q = bench::ClusterQuery(120, 4, 70 + spec.seed);
+  q.kmeans.local_iterations = spec.local_iterations;
+  q.kmeans.batch_size = spec.batch_size;
   core::PrivacyConfig privacy;
   privacy.max_tuples_per_edgelet = 30;
   auto d = fw.Plan(q, privacy, {0.1, 0.99}, exec::Strategy::kOvercollection);
-  if (!d.ok()) return {};
+  if (!d.ok()) {
+    r.status = {true, "plan"};
+    return r;
+  }
   exec::ExecutionConfig ec;
   ec.collection_window = 60 * kSecond;
   ec.heartbeat_period = 20 * kSecond;
@@ -37,9 +60,13 @@ KmOutcome RunKm(int local_iterations, int64_t batch_size, double drop,
   ec.deadline = 8 * kMinute;
   ec.combiner_margin = kMinute;
   ec.inject_failures = false;
-  ec.seed = seed;
+  ec.seed = spec.seed;
   auto report = fw.Execute(*d, ec);
-  if (!report.ok() || !report->success) return {};
+  if (!report.ok()) {
+    r.status = {true, "execute"};
+    return r;
+  }
+  if (!report->success) return r;  // completed but timed out: not skipped
   ml::Matrix distributed;
   for (const auto& row : report->result.rows()) {
     std::vector<double> c;
@@ -50,28 +77,51 @@ KmOutcome RunKm(int local_iterations, int64_t batch_size, double drop,
   }
   auto central = fw.CentralizedKMeans(q);
   auto points = fw.QualifyingPoints(q);
-  if (!central.ok() || !points.ok()) return {};
+  if (!central.ok() || !points.ok()) return r;
   auto ratio = ml::InertiaRatio(*points, distributed, central->centroids);
-  if (!ratio.ok()) return {};
-  return {true, *ratio};
+  if (!ratio.ok()) return r;
+  r.success = true;
+  r.inertia_ratio = *ratio;
+  return r;
 }
 
-double MeanRatio(int local_iterations, int64_t batch, double drop) {
-  double sum = 0;
-  int done = 0;
-  for (uint64_t seed : {1u, 2u, 3u}) {
-    KmOutcome o = RunKm(local_iterations, batch, drop, seed);
-    if (o.success) {
-      sum += o.inertia_ratio;
-      ++done;
-    }
+TrialResult RunResend(const TrialSpec& spec) {
+  TrialResult r;
+  core::FrameworkConfig cfg = bench::StandardFleet(700, 60, spec.seed);
+  cfg.network.drop_probability = 0.5;
+  core::EdgeletFramework fw(cfg);
+  if (!fw.Init().ok()) {
+    r.status = {true, "init"};
+    return r;
   }
-  return done ? sum / done : -1;
+  query::Query q = bench::SurveyQuery(80, spec.seed);
+  core::PrivacyConfig privacy;
+  privacy.max_tuples_per_edgelet = 20;
+  auto d = fw.Plan(q, privacy, {0.1, 0.99}, exec::Strategy::kOvercollection);
+  if (!d.ok()) {
+    r.status = {true, "plan"};
+    return r;
+  }
+  exec::ExecutionConfig ec;
+  ec.collection_window = 60 * kSecond;
+  ec.deadline = 6 * kMinute;
+  ec.inject_failures = false;
+  ec.result_resends = spec.resends;
+  ec.seed = spec.seed;
+  auto report = fw.Execute(*d, ec);
+  if (!report.ok()) {
+    r.status = {true, "execute"};
+    return r;
+  }
+  r.success = report->success;
+  return r;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::HarnessOptions opt = bench::ParseHarnessOptions(
+      argc, argv, "ablation", /*default_trials=*/8);
   bench::PrintHeader(
       "ABLATE: design-choice ablations",
       "A1 expected: diminishing returns past ~2 local iterations. "
@@ -79,50 +129,123 @@ int main() {
       "Mini-batch claim). A3 expected: re-emission converts residual "
       "delivery losses into successes.");
 
+  const int km_seeds = std::min(opt.trials, 3);
+  const int a3_trials = opt.trials;
+  const std::vector<int> kA1Iters = {1, 2, 4, 8};
+  const std::vector<int64_t> kA2Batches = {0, 8, 16, 32};  // 0 = full batch
+  const std::vector<int> kA3Resends = {0, 1, 2, 4};
+
+  std::vector<TrialSpec> specs;
+  int cell = 0;
+  for (int iters : kA1Iters) {
+    for (int s = 1; s <= km_seeds; ++s) {
+      specs.push_back({TrialSpec::kKMeans, cell, iters, 0, 0,
+                       static_cast<uint64_t>(s)});
+    }
+    ++cell;
+  }
+  for (int64_t batch : kA2Batches) {
+    for (int s = 1; s <= km_seeds; ++s) {
+      specs.push_back({TrialSpec::kKMeans, cell, 2, batch, 0,
+                       static_cast<uint64_t>(s)});
+    }
+    ++cell;
+  }
+  for (int resends : kA3Resends) {
+    for (int t = 0; t < a3_trials; ++t) {
+      specs.push_back({TrialSpec::kResend, cell, 2, 0, resends,
+                       static_cast<uint64_t>(500 + t)});
+    }
+    ++cell;
+  }
+
+  bench::WallTimer timer;
+  bench::TrialExecutor executor(opt.jobs);
+  std::vector<TrialResult> results =
+      executor.Map(static_cast<int>(specs.size()), [&](int i) {
+        return specs[i].kind == TrialSpec::kKMeans ? RunKm(specs[i])
+                                                   : RunResend(specs[i]);
+      });
+
+  // Per-cell aggregation (results are in spec order).
+  struct CellAgg {
+    double ratio_sum = 0;
+    int ratio_count = 0;
+    int successes = 0;
+    int completed = 0;
+    int skipped = 0;
+  };
+  std::vector<CellAgg> agg(cell);
+  int skipped_total = 0;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    CellAgg& a = agg[specs[i].cell];
+    if (results[i].status.skipped) {
+      ++a.skipped;
+      ++skipped_total;
+      continue;
+    }
+    ++a.completed;
+    if (results[i].success) {
+      ++a.successes;
+      if (specs[i].kind == TrialSpec::kKMeans) {
+        a.ratio_sum += results[i].inertia_ratio;
+        ++a.ratio_count;
+      }
+    }
+  }
+  auto mean_ratio = [&](int c) {
+    return agg[c].ratio_count ? agg[c].ratio_sum / agg[c].ratio_count : -1.0;
+  };
+
+  bench::BenchJson json("ablation", opt);
+  int c = 0;
   std::printf("A1 — local Lloyd iterations per heartbeat (full batch, "
               "p_drop=0.25)\n");
-  std::printf("%12s %14s\n", "local iters", "inertia ratio");
-  bench::PrintRule(30);
-  for (int iters : {1, 2, 4, 8}) {
-    std::printf("%12d %14.4f\n", iters, MeanRatio(iters, 0, 0.25));
+  std::printf("%12s %14s %8s\n", "local iters", "inertia ratio", "skipped");
+  bench::PrintRule(38);
+  for (int iters : kA1Iters) {
+    std::printf("%12d %14.4f %8d\n", iters, mean_ratio(c), agg[c].skipped);
+    json.AddRow({{"ablation", bench::JsonStr("A1_local_iterations")},
+                 {"local_iterations", bench::JsonNum(iters)},
+                 {"inertia_ratio", bench::JsonNum(mean_ratio(c))},
+                 {"completed", bench::JsonNum(agg[c].completed)},
+                 {"skipped", bench::JsonNum(agg[c].skipped)}});
+    ++c;
   }
 
   std::printf("\nA2 — mini-batch resampling per heartbeat (p_drop=0.25, "
               "2 local iterations)\n");
-  std::printf("%12s %14s\n", "batch", "inertia ratio");
-  bench::PrintRule(30);
-  std::printf("%12s %14.4f\n", "full", MeanRatio(2, 0, 0.25));
-  for (int64_t batch : {8, 16, 32}) {
-    std::printf("%12lld %14.4f\n", static_cast<long long>(batch),
-                MeanRatio(2, batch, 0.25));
+  std::printf("%12s %14s %8s\n", "batch", "inertia ratio", "skipped");
+  bench::PrintRule(38);
+  for (int64_t batch : kA2Batches) {
+    if (batch == 0) {
+      std::printf("%12s %14.4f %8d\n", "full", mean_ratio(c),
+                  agg[c].skipped);
+    } else {
+      std::printf("%12lld %14.4f %8d\n", static_cast<long long>(batch),
+                  mean_ratio(c), agg[c].skipped);
+    }
+    json.AddRow({{"ablation", bench::JsonStr("A2_minibatch")},
+                 {"batch_size", bench::JsonNum(batch)},
+                 {"inertia_ratio", bench::JsonNum(mean_ratio(c))},
+                 {"completed", bench::JsonNum(agg[c].completed)},
+                 {"skipped", bench::JsonNum(agg[c].skipped)}});
+    ++c;
   }
 
   std::printf("\nA3 — final-result re-emissions under 50%% message loss\n");
-  std::printf("%12s %10s\n", "resends", "success");
-  bench::PrintRule(30);
-  for (int resends : {0, 1, 2, 4}) {
-    int successes = 0, trials = 8;
-    for (int t = 0; t < trials; ++t) {
-      core::FrameworkConfig cfg = bench::StandardFleet(700, 60, 500 + t);
-      cfg.network.drop_probability = 0.5;
-      core::EdgeletFramework fw(cfg);
-      if (!fw.Init().ok()) continue;
-      query::Query q = bench::SurveyQuery(80, 500 + t);
-      core::PrivacyConfig privacy;
-      privacy.max_tuples_per_edgelet = 20;
-      auto d = fw.Plan(q, privacy, {0.1, 0.99},
-                       exec::Strategy::kOvercollection);
-      if (!d.ok()) continue;
-      exec::ExecutionConfig ec;
-      ec.collection_window = 60 * kSecond;
-      ec.deadline = 6 * kMinute;
-      ec.inject_failures = false;
-      ec.result_resends = resends;
-      ec.seed = 500 + t;
-      auto report = fw.Execute(*d, ec);
-      if (report.ok() && report->success) ++successes;
-    }
-    std::printf("%12d %9d%%\n", resends, 100 * successes / trials);
+  std::printf("%12s %10s %8s\n", "resends", "success", "skipped");
+  bench::PrintRule(38);
+  for (int resends : kA3Resends) {
+    int pct = agg[c].completed ? 100 * agg[c].successes / agg[c].completed : 0;
+    std::printf("%12d %9d%% %8d\n", resends, pct, agg[c].skipped);
+    json.AddRow({{"ablation", bench::JsonStr("A3_result_resends")},
+                 {"resends", bench::JsonNum(resends)},
+                 {"successes", bench::JsonNum(agg[c].successes)},
+                 {"completed", bench::JsonNum(agg[c].completed)},
+                 {"skipped", bench::JsonNum(agg[c].skipped)}});
+    ++c;
   }
+  json.Write(timer.ElapsedMs(), skipped_total);
   return 0;
 }

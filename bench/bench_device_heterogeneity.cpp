@@ -6,12 +6,72 @@
 // (STM32+TPM) is ~60x slower per tuple than the SGX PC, yet completion time
 // is dominated by communication, so mixed fleets finish close to PC-only
 // fleets.
+//
+// Runs on the parallel trial harness (trial_runner.h); --trials N runs N
+// seeds per processor mix (trial 0 reproduces the original fixed-seed run).
 
 #include "bench_util.h"
+#include "trial_runner.h"
 
 using namespace edgelet;
 
-int main() {
+namespace {
+
+struct MixCase {
+  const char* label;
+  device::DeviceMix mix;
+};
+
+struct TrialResult {
+  bench::TrialStatus status;
+  bool success = false;
+  SimTime completion = 0;
+  uint64_t msgs = 0;
+  bool valid = false;
+};
+
+TrialResult RunOne(const MixCase& mc, int trial) {
+  TrialResult r;
+  uint64_t seed = 17 + trial;
+  core::FrameworkConfig cfg = bench::StandardFleet(400, 60, seed);
+  cfg.fleet.processor_mix = mc.mix;
+  core::EdgeletFramework fw(cfg);
+  if (!fw.Init().ok()) {
+    r.status = {true, "init"};
+    return r;
+  }
+  query::Query q = bench::SurveyQuery(100, seed);
+  core::PrivacyConfig privacy;
+  privacy.max_tuples_per_edgelet = 25;
+  auto d = fw.Plan(q, privacy, {0.05, 0.99}, exec::Strategy::kOvercollection);
+  if (!d.ok()) {
+    r.status = {true, "plan"};
+    return r;
+  }
+  exec::ExecutionConfig ec;
+  ec.collection_window = 2 * kMinute;
+  ec.deadline = 10 * kMinute;
+  ec.inject_failures = false;
+  auto report = fw.Execute(*d, ec);
+  if (!report.ok()) {
+    r.status = {true, "execute"};
+    return r;
+  }
+  r.success = report->success;
+  if (report->success) {
+    r.completion = report->completion_time;
+    r.msgs = report->messages_sent;
+    auto validity = fw.VerifyGroupingSets(*d, *report);
+    r.valid = validity.ok() && validity->valid;
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::HarnessOptions opt = bench::ParseHarnessOptions(
+      argc, argv, "device_heterogeneity", /*default_trials=*/1);
   bench::PrintHeader(
       "Q1: heterogeneous device classes (PC/SGX, phone/TrustZone, box/TPM)",
       "Expected: per-tuple compute spans ~2 orders of magnitude across "
@@ -32,6 +92,7 @@ int main() {
   net::Simulator sim(1);
   net::Network net_(&sim, {});
   tee::TrustAuthority authority(1);
+  bench::BenchJson json("device_heterogeneity", opt);
   for (const ClassCase& cc : {
            ClassCase{"PC (Intel SGX)", device::DeviceProfile::Pc()},
            ClassCase{"Smartphone (TrustZone)",
@@ -45,46 +106,77 @@ int main() {
     std::printf("%-24s %9.1f %14s %14s\n", cc.label, p.compute_factor,
                 FormatSimTime(dev.ComputeCost(200)).c_str(),
                 FormatSimTime(dev.ComputeCost(2000)).c_str());
+    json.AddRow({{"kind", bench::JsonStr("class_probe")},
+                 {"class", bench::JsonStr(cc.label)},
+                 {"compute_factor", bench::JsonNum(p.compute_factor)},
+                 {"cost_200_us", bench::JsonNum(dev.ComputeCost(200))},
+                 {"cost_2000_us", bench::JsonNum(dev.ComputeCost(2000))}});
   }
 
-  std::printf("\nEnd-to-end effect of the processor mix (same query/plan):\n");
-  std::printf("%-28s %12s %12s %9s\n", "processor mix", "done(sim)",
-              "messages", "valid");
-  bench::PrintRule(66);
-  struct MixCase {
-    const char* label;
-    device::DeviceMix mix;
+  const std::vector<MixCase> kMixes = {
+      {"PCs only", {1.0, 0.0, 0.0}},
+      {"phones only", {0.0, 1.0, 0.0}},
+      {"home boxes only", {0.0, 0.0, 1.0}},
+      {"mixed 40/40/20", {0.4, 0.4, 0.2}},
   };
-  for (const MixCase& mc : {
-           MixCase{"PCs only", {1.0, 0.0, 0.0}},
-           MixCase{"phones only", {0.0, 1.0, 0.0}},
-           MixCase{"home boxes only", {0.0, 0.0, 1.0}},
-           MixCase{"mixed 40/40/20", {0.4, 0.4, 0.2}},
-       }) {
-    core::FrameworkConfig cfg = bench::StandardFleet(400, 60, 17);
-    cfg.fleet.processor_mix = mc.mix;
-    core::EdgeletFramework fw(cfg);
-    if (!fw.Init().ok()) return 1;
-    query::Query q = bench::SurveyQuery(100, 17);
-    core::PrivacyConfig privacy;
-    privacy.max_tuples_per_edgelet = 25;
-    auto d = fw.Plan(q, privacy, {0.05, 0.99},
-                     exec::Strategy::kOvercollection);
-    if (!d.ok()) return 1;
-    exec::ExecutionConfig ec;
-    ec.collection_window = 2 * kMinute;
-    ec.deadline = 10 * kMinute;
-    ec.inject_failures = false;
-    auto report = fw.Execute(*d, ec);
-    if (!report.ok() || !report->success) {
-      std::printf("%-28s %12s\n", mc.label, "failed");
-      continue;
+  const int per_cell = opt.trials;
+  const int total = static_cast<int>(kMixes.size()) * per_cell;
+
+  bench::WallTimer timer;
+  bench::TrialExecutor executor(opt.jobs);
+  std::vector<TrialResult> results = executor.Map(total, [&](int i) {
+    return RunOne(kMixes[i / per_cell], i % per_cell);
+  });
+
+  std::printf("\nEnd-to-end effect of the processor mix (same query/plan):\n");
+  std::printf("%-28s %12s %12s %9s %8s\n", "processor mix", "done(sim)",
+              "messages", "valid", "skipped");
+  bench::PrintRule(74);
+  int skipped_total = 0;
+  for (size_t c = 0; c < kMixes.size(); ++c) {
+    int completed = 0, skipped = 0, successes = 0, valid = 0;
+    SimTime sum_completion = 0;
+    uint64_t sum_msgs = 0;
+    for (int t = 0; t < per_cell; ++t) {
+      const TrialResult& r = results[c * per_cell + t];
+      if (r.status.skipped) {
+        ++skipped;
+        continue;
+      }
+      ++completed;
+      if (r.success) {
+        ++successes;
+        sum_completion += r.completion;
+        sum_msgs += r.msgs;
+        if (r.valid) ++valid;
+      }
     }
-    auto validity = fw.VerifyGroupingSets(*d, *report);
-    std::printf("%-28s %12s %12llu %9s\n", mc.label,
-                FormatSimTime(report->completion_time).c_str(),
-                static_cast<unsigned long long>(report->messages_sent),
-                (validity.ok() && validity->valid) ? "yes" : "NO");
+    skipped_total += skipped;
+    if (successes == 0) {
+      std::printf("%-28s %12s %12s %9s %8d\n", kMixes[c].label, "failed", "-",
+                  "-", skipped);
+    } else {
+      std::printf("%-28s %12s %12llu %9s %8d\n", kMixes[c].label,
+                  FormatSimTime(sum_completion / successes).c_str(),
+                  static_cast<unsigned long long>(sum_msgs / successes),
+                  valid == successes ? "yes" : "NO", skipped);
+    }
+    json.AddRow(
+        {{"kind", bench::JsonStr("mix")},
+         {"mix", bench::JsonStr(kMixes[c].label)},
+         {"completed", bench::JsonNum(completed)},
+         {"skipped", bench::JsonNum(skipped)},
+         {"successes", bench::JsonNum(successes)},
+         {"valid", bench::JsonNum(valid)},
+         {"mean_completion_sim_us",
+          bench::JsonNum(successes ? sum_completion / successes : 0)},
+         {"mean_msgs",
+          bench::JsonNum(successes ? sum_msgs / successes : 0)}});
   }
+  if (skipped_total > 0) {
+    std::printf("\nWARNING: %d trial(s) skipped (Init/Plan/Execute "
+                "failure).\n", skipped_total);
+  }
+  json.Write(timer.ElapsedMs(), skipped_total);
   return 0;
 }

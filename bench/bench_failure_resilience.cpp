@@ -3,72 +3,155 @@
 // across actual failure probabilities. Expected shape: without
 // overcollection the success rate collapses quickly with p; with the
 // planned m it stays >= the target up to the presumed p.
+//
+// Runs on the parallel trial harness (see trial_runner.h): every
+// (cell, trial) pair is an independent seed-deterministic simulation, so
+// --jobs N changes wall-clock only — per-seed reports are byte-identical
+// (the JSON carries a combined report fingerprint to prove it).
 
 #include "bench_util.h"
+#include "common/hash.h"
+#include "trial_runner.h"
 
 using namespace edgelet;
 
 namespace {
 
-struct Cell {
-  int success = 0;
-  int trials = 0;
+struct TrialResult {
+  bench::TrialStatus status;
+  bool success = false;
+  uint64_t fingerprint = 0;
 };
 
-Cell RunTrials(double presumed, double actual, bool overcollect,
-               int trials) {
-  Cell cell;
-  for (int trial = 0; trial < trials; ++trial) {
-    uint64_t seed = 9000 + trial * 13 + static_cast<uint64_t>(actual * 100);
-    core::EdgeletFramework fw(bench::StandardFleet(400, 60, seed));
-    if (!fw.Init().ok()) continue;
-    query::Query q = bench::SurveyQuery(80, seed);
-    core::PrivacyConfig privacy;
-    privacy.max_tuples_per_edgelet = 20;  // n = 4
-    resilience::ResilienceConfig resilience{overcollect ? presumed : 0.0,
-                                            overcollect ? 0.99 : 0.5};
-    auto d = fw.Plan(q, privacy, resilience,
-                     exec::Strategy::kOvercollection);
-    if (!d.ok()) continue;
-    exec::ExecutionConfig ec;
-    ec.collection_window = 60 * kSecond;
-    ec.deadline = 3 * kMinute;
-    ec.inject_failures = true;
-    ec.failure_probability = actual;
-    ec.seed = seed + 5;
-    auto report = fw.Execute(*d, ec);
-    if (!report.ok()) continue;
-    ++cell.trials;
-    if (report->success) ++cell.success;
+struct Cell {
+  double actual = 0;
+  bool overcollect = false;
+  int success = 0;
+  int completed = 0;
+  int skipped = 0;
+  uint64_t fingerprint = 0;  // order-combined over completed trials
+};
+
+TrialResult RunOne(double presumed, double actual, bool overcollect,
+                   int trial) {
+  TrialResult r;
+  uint64_t seed = 9000 + trial * 13 + static_cast<uint64_t>(actual * 100);
+  core::EdgeletFramework fw(bench::StandardFleet(400, 60, seed));
+  if (!fw.Init().ok()) {
+    r.status = {true, "init"};
+    return r;
   }
-  return cell;
+  query::Query q = bench::SurveyQuery(80, seed);
+  core::PrivacyConfig privacy;
+  privacy.max_tuples_per_edgelet = 20;  // n = 4
+  resilience::ResilienceConfig resilience{overcollect ? presumed : 0.0,
+                                          overcollect ? 0.99 : 0.5};
+  auto d = fw.Plan(q, privacy, resilience, exec::Strategy::kOvercollection);
+  if (!d.ok()) {
+    r.status = {true, "plan"};
+    return r;
+  }
+  exec::ExecutionConfig ec;
+  ec.collection_window = 60 * kSecond;
+  ec.deadline = 3 * kMinute;
+  ec.inject_failures = true;
+  ec.failure_probability = actual;
+  ec.seed = seed + 5;
+  auto report = fw.Execute(*d, ec);
+  if (!report.ok()) {
+    r.status = {true, "execute"};
+    return r;
+  }
+  r.success = report->success;
+  r.fingerprint = exec::ReportFingerprint(*report);
+  return r;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::HarnessOptions opt =
+      bench::ParseHarnessOptions(argc, argv, "failure_resilience",
+                                 /*default_trials=*/12);
   bench::PrintHeader(
       "Q4: success rate with vs without overcollection",
       "Expected: m=0 baseline collapses as p grows; the overcollected plan "
       "(presume p=0.2, target 0.99) holds its success rate through the "
       "presumed regime.");
 
-  const int kTrials = 12;
   const double kPresumed = 0.20;
+  const std::vector<double> kActuals = {0.0, 0.05, 0.10, 0.15, 0.20, 0.30};
 
-  std::printf("%10s %18s %24s\n", "actual p", "m=0 baseline",
-              "overcollected (m planned)");
-  bench::PrintRule(60);
-  for (double actual : {0.0, 0.05, 0.10, 0.15, 0.20, 0.30}) {
-    Cell base = RunTrials(kPresumed, actual, /*overcollect=*/false, kTrials);
-    Cell over = RunTrials(kPresumed, actual, /*overcollect=*/true, kTrials);
-    std::printf("%10.2f %12d%% (%2d) %18d%% (%2d)\n", actual,
-                base.trials ? 100 * base.success / base.trials : 0,
-                base.trials,
-                over.trials ? 100 * over.success / over.trials : 0,
-                over.trials);
+  // Flatten the sweep: (actual p) x (baseline, overcollected) x trials, so
+  // parallelism spans the whole grid, not one cell at a time.
+  std::vector<Cell> cells;
+  for (double actual : kActuals) {
+    for (bool overcollect : {false, true}) {
+      cells.push_back({actual, overcollect});
+    }
   }
-  std::printf("\n(N trials in parentheses; plans: n=4, quota=20, presumed "
-              "p=%.2f for the overcollected column)\n", kPresumed);
+  const int per_cell = opt.trials;
+  const int total = static_cast<int>(cells.size()) * per_cell;
+
+  bench::WallTimer timer;
+  bench::TrialExecutor executor(opt.jobs);
+  std::vector<TrialResult> results =
+      executor.Map(total, [&](int i) {
+        const Cell& cell = cells[i / per_cell];
+        return RunOne(kPresumed, cell.actual, cell.overcollect, i % per_cell);
+      });
+
+  int skipped_total = 0;
+  for (size_t c = 0; c < cells.size(); ++c) {
+    for (int t = 0; t < per_cell; ++t) {
+      const TrialResult& r = results[c * per_cell + t];
+      if (r.status.skipped) {
+        ++cells[c].skipped;
+        ++skipped_total;
+        continue;
+      }
+      ++cells[c].completed;
+      if (r.success) ++cells[c].success;
+      cells[c].fingerprint = HashCombine(cells[c].fingerprint, r.fingerprint);
+    }
+  }
+
+  std::printf("%10s %22s %26s\n", "actual p", "m=0 baseline",
+              "overcollected (m planned)");
+  bench::PrintRule(62);
+  bench::BenchJson json("failure_resilience", opt);
+  for (size_t i = 0; i < cells.size(); i += 2) {
+    const Cell& base = cells[i];
+    const Cell& over = cells[i + 1];
+    auto pct = [](const Cell& c) {
+      return c.completed ? 100 * c.success / c.completed : 0;
+    };
+    std::printf("%10.2f %12d%% (%2d/%2d) %18d%% (%2d/%2d)\n", base.actual,
+                pct(base), base.completed, per_cell, pct(over),
+                over.completed, per_cell);
+    for (const Cell* c : {&base, &over}) {
+      json.AddRow({{"actual_p", bench::JsonNum(c->actual)},
+                   {"overcollect", bench::JsonBool(c->overcollect)},
+                   {"success", bench::JsonNum(c->success)},
+                   {"completed", bench::JsonNum(c->completed)},
+                   {"skipped", bench::JsonNum(c->skipped)},
+                   {"success_rate",
+                    bench::JsonNum(c->completed
+                                       ? static_cast<double>(c->success) /
+                                             c->completed
+                                       : 0.0)},
+                   {"report_fingerprint",
+                    bench::JsonStr(std::to_string(c->fingerprint))}});
+    }
+  }
+  std::printf("\n(completed/total trials in parentheses; plans: n=4, "
+              "quota=20, presumed p=%.2f for the overcollected column)\n",
+              kPresumed);
+  if (skipped_total > 0) {
+    std::printf("WARNING: %d trial(s) skipped (Init/Plan/Execute failure) — "
+                "excluded from the rates above but counted here.\n",
+                skipped_total);
+  }
+  json.Write(timer.ElapsedMs(), skipped_total);
   return 0;
 }

@@ -4,13 +4,42 @@
 // function of the presumed failure probability, for several n and targets.
 // Expected shape: m grows with p and with the target, stays well below n
 // for realistic p (overcollection is cheap).
+//
+// Runs on the parallel trial harness (trial_runner.h). The sweep is
+// analytic (one closed-form evaluation per grid cell, no simulation), so
+// --trials is accepted but has no effect; --jobs fans the grid cells.
 
 #include "bench_util.h"
 #include "resilience/overcollection.h"
+#include "trial_runner.h"
 
 using namespace edgelet;
 
-int main() {
+namespace {
+
+// One grid cell across the four printed tables.
+struct CellSpec {
+  int table = 0;  // 1: m(p,n)  2: m(p,target)  3: m(p,ops)  4: backup(p,ops)
+  double p = 0;
+  int n = 0;
+  double target = 0;
+  int ops = 2;
+};
+
+int EvalCell(const CellSpec& c) {
+  if (c.table == 4) {
+    auto b = resilience::MinBackupReplicas(c.ops, c.p, c.target);
+    return b.ok() ? *b : -1;
+  }
+  auto m = resilience::MinOvercollection(c.n, c.p, c.target, c.ops);
+  return m.ok() ? *m : -1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::HarnessOptions opt = bench::ParseHarnessOptions(
+      argc, argv, "fig3_overcollection", /*default_trials=*/1);
   bench::PrintHeader(
       "FIG3: overcollection degree m = f(failure probability)",
       "Expected: m increasing in p and in the reliability target; m << n "
@@ -19,6 +48,40 @@ int main() {
   const std::vector<double> probs = {0.01, 0.02, 0.05, 0.10,
                                      0.15, 0.20, 0.30, 0.40};
   const std::vector<int> ns = {4, 10, 20, 50, 100};
+  const std::vector<double> targets = {0.9, 0.99, 0.999, 0.9999};
+  const std::vector<int> ops_variants = {2, 3, 5};
+  const std::vector<int> backup_ops = {9, 21, 101};
+
+  std::vector<CellSpec> cells;
+  for (double p : probs) {
+    for (int n : ns) cells.push_back({1, p, n, 0.99, 2});
+  }
+  for (double p : probs) {
+    for (double t : targets) cells.push_back({2, p, 10, t, 2});
+  }
+  for (double p : probs) {
+    for (int ops : ops_variants) cells.push_back({3, p, 10, 0.99, ops});
+  }
+  for (double p : probs) {
+    for (int ops : backup_ops) cells.push_back({4, p, 0, 0.99, ops});
+  }
+
+  bench::WallTimer timer;
+  bench::TrialExecutor executor(opt.jobs);
+  std::vector<int> values =
+      executor.Map(static_cast<int>(cells.size()),
+                   [&](int i) { return EvalCell(cells[i]); });
+
+  bench::BenchJson json("fig3_overcollection", opt);
+  size_t idx = 0;
+  auto emit = [&](const CellSpec& c, int v) {
+    json.AddRow({{"table", bench::JsonNum(c.table)},
+                 {"p", bench::JsonNum(c.p)},
+                 {"n", bench::JsonNum(c.n)},
+                 {"target", bench::JsonNum(c.target)},
+                 {"ops", bench::JsonNum(c.ops)},
+                 {"m", bench::JsonNum(v)}});
+  };
 
   std::printf("reliability target 0.99, 2 operators per partition\n");
   std::printf("%8s", "p \\ n");
@@ -27,10 +90,12 @@ int main() {
   bench::PrintRule(50);
   for (double p : probs) {
     std::printf("%8.2f", p);
-    for (int n : ns) {
-      auto m = resilience::MinOvercollection(n, p, 0.99);
-      if (m.ok()) {
-        std::printf(" %7d", *m);
+    for (size_t j = 0; j < ns.size(); ++j) {
+      int v = values[idx];
+      emit(cells[idx], v);
+      ++idx;
+      if (v >= 0) {
+        std::printf(" %7d", v);
       } else {
         std::printf(" %7s", "-");
       }
@@ -44,9 +109,10 @@ int main() {
   bench::PrintRule(50);
   for (double p : probs) {
     std::printf("%8.2f", p);
-    for (double target : {0.9, 0.99, 0.999, 0.9999}) {
-      auto m = resilience::MinOvercollection(10, p, target);
-      std::printf(" %8d", m.ok() ? *m : -1);
+    for (size_t j = 0; j < targets.size(); ++j) {
+      emit(cells[idx], values[idx]);
+      std::printf(" %8d", values[idx]);
+      ++idx;
     }
     std::printf("\n");
   }
@@ -57,9 +123,10 @@ int main() {
   bench::PrintRule(50);
   for (double p : probs) {
     std::printf("%8.2f", p);
-    for (int ops : {2, 3, 5}) {
-      auto m = resilience::MinOvercollection(10, p, 0.99, ops);
-      std::printf(" %8d", m.ok() ? *m : -1);
+    for (size_t j = 0; j < ops_variants.size(); ++j) {
+      emit(cells[idx], values[idx]);
+      std::printf(" %8d", values[idx]);
+      ++idx;
     }
     std::printf("\n");
   }
@@ -70,11 +137,13 @@ int main() {
   bench::PrintRule(50);
   for (double p : probs) {
     std::printf("%8.2f", p);
-    for (int ops : {9, 21, 101}) {
-      auto b = resilience::MinBackupReplicas(ops, p, 0.99);
-      std::printf(" %10d", b.ok() ? *b : -1);
+    for (size_t j = 0; j < backup_ops.size(); ++j) {
+      emit(cells[idx], values[idx]);
+      std::printf(" %10d", values[idx]);
+      ++idx;
     }
     std::printf("\n");
   }
+  json.Write(timer.ElapsedMs(), /*skipped_trials=*/0);
   return 0;
 }

@@ -115,9 +115,13 @@ void BM_GroupByMerge(benchmark::State& state) {
 }
 BENCHMARK(BM_GroupByMerge);
 
+// DES throughput: the events_per_sec counter is the headline number for
+// the event-queue rework (slab + generation tombstones vs hash-set
+// pending tracking).
 void BM_SimulatorEvents(benchmark::State& state) {
   for (auto _ : state) {
     net::Simulator sim(1);
+    sim.ReserveEvents(state.range(0));
     uint64_t count = 0;
     for (int i = 0; i < state.range(0); ++i) {
       sim.ScheduleAt(sim.rng().NextBelow(1000000),
@@ -127,8 +131,105 @@ void BM_SimulatorEvents(benchmark::State& state) {
     benchmark::DoNotOptimize(count);
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * state.range(0)),
+      benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_SimulatorEvents)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_SimulatorEvents)->Arg(1000)->Arg(10000)->Arg(100000);
+
+// Steady-state event churn: every executed event schedules a successor
+// (heartbeats, churn transitions), so slots and queue storage are
+// recycled rather than grown.
+void BM_SimulatorSelfScheduling(benchmark::State& state) {
+  for (auto _ : state) {
+    net::Simulator sim(1);
+    const uint64_t target = state.range(0);
+    uint64_t count = 0;
+    std::function<void()> tick = [&]() {
+      if (++count < target) sim.ScheduleAfter(10, tick);
+    };
+    for (int i = 0; i < 64; ++i) sim.ScheduleAt(i, tick);
+    sim.Run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * state.range(0)),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorSelfScheduling)->Arg(10000)->Arg(100000);
+
+// Schedule + cancel half the events (timeout patterns: most deadlines are
+// cancelled before they fire).
+void BM_SimulatorScheduleCancel(benchmark::State& state) {
+  std::vector<uint64_t> ids;
+  for (auto _ : state) {
+    net::Simulator sim(1);
+    sim.ReserveEvents(state.range(0));
+    uint64_t count = 0;
+    ids.clear();
+    for (int i = 0; i < state.range(0); ++i) {
+      ids.push_back(sim.ScheduleAt(sim.rng().NextBelow(1000000),
+                                   [&count]() { ++count; }));
+    }
+    for (size_t i = 0; i < ids.size(); i += 2) sim.Cancel(ids[i]);
+    sim.Run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * state.range(0)),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorScheduleCancel)->Arg(10000);
+
+// Writer reuse on the message path: Reset() keeps the allocation, so a
+// stream of encodes settles into zero allocations.
+void BM_WriterReuse(benchmark::State& state) {
+  data::HealthDataParams params;
+  params.num_individuals = 100;
+  data::Table table = data::GenerateHealthData(params, 1);
+  Writer w;
+  for (auto _ : state) {
+    w.Reset();
+    table.Serialize(&w);
+    benchmark::DoNotOptimize(w.data());
+  }
+  state.SetBytesProcessed(state.iterations() * w.size());
+}
+BENCHMARK(BM_WriterReuse);
+
+void BM_VarintEncode(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 1024; ++i) {
+    // Mirror wire reality: mostly small lengths/counters, some large.
+    values.push_back(i % 8 == 0 ? rng.NextU64() : rng.NextBelow(128));
+  }
+  Writer w;
+  for (auto _ : state) {
+    w.Reset();
+    for (uint64_t v : values) w.PutVarint(v);
+    benchmark::DoNotOptimize(w.data());
+  }
+  state.SetItemsProcessed(state.iterations() * values.size());
+}
+BENCHMARK(BM_VarintEncode);
+
+void BM_TableConcatMove(benchmark::State& state) {
+  data::HealthDataParams params;
+  params.num_individuals = state.range(0);
+  data::Table source = data::GenerateHealthData(params, 1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    data::Table chunk = source;  // fresh copy to steal from
+    data::Table sink(source.schema());
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(sink.Concat(std::move(chunk)));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TableConcatMove)->Arg(1000);
 
 void BM_LloydStep(benchmark::State& state) {
   Rng rng(1);

@@ -5,62 +5,144 @@
 // simulation itself. Expected shape: messages grow linearly with the crowd;
 // completion time stays roughly flat (collection parallelism); per-edgelet
 // load is constant.
-
-#include <chrono>
+//
+// Runs on the parallel trial harness (trial_runner.h); --trials N averages
+// N seeds per crowd size (trial 0 reproduces the original fixed-seed run).
 
 #include "bench_util.h"
+#include "trial_runner.h"
 
 using namespace edgelet;
 
-int main() {
+namespace {
+
+struct TrialResult {
+  bench::TrialStatus status;
+  bool success = false;
+  SimTime completion = kSimTimeNever;
+  uint64_t msgs = 0;
+  uint64_t bytes = 0;
+  int64_t wall_ms = 0;
+};
+
+TrialResult RunOne(size_t crowd, int trial) {
+  TrialResult r;
+  uint64_t seed = 21 + trial;
+  // Keep the plan constant: n=5, quota scales with C so that C tracks
+  // the crowd (a survey of ~1/5 of the population).
+  uint64_t c_card = crowd / 5;
+  core::EdgeletFramework fw(bench::StandardFleet(crowd, 80, seed));
+  if (!fw.Init().ok()) {
+    r.status = {true, "init"};
+    return r;
+  }
+  query::Query q = bench::SurveyQuery(c_card, seed);
+  core::PrivacyConfig privacy;
+  privacy.max_tuples_per_edgelet = (c_card + 4) / 5;  // n = 5
+  auto d = fw.Plan(q, privacy, {0.05, 0.99}, exec::Strategy::kOvercollection);
+  if (!d.ok()) {
+    r.status = {true, "plan"};
+    return r;
+  }
+  exec::ExecutionConfig ec;
+  ec.collection_window = 2 * kMinute;
+  ec.deadline = 10 * kMinute;
+  ec.inject_failures = false;
+  ec.seed = seed - 19;  // trial 0 reproduces the original ec.seed = 2
+
+  bench::WallTimer wall;
+  auto report = fw.Execute(*d, ec);
+  r.wall_ms = wall.ElapsedMs();
+  if (!report.ok()) {
+    r.status = {true, "execute"};
+    return r;
+  }
+  r.success = report->success;
+  r.completion = report->completion_time;
+  r.msgs = report->messages_sent;
+  r.bytes = report->bytes_sent;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::HarnessOptions opt = bench::ParseHarnessOptions(
+      argc, argv, "scalability", /*default_trials=*/1);
   bench::PrintHeader(
       "Q2: scalability with the number of simulated edgelets",
       "Expected: messages ~ linear in contributors; completion time ~ flat "
       "(bounded by the collection window + pipeline latency).");
 
-  std::printf("%13s %8s %12s %12s %12s %10s\n", "contributors", "C",
-              "done(sim)", "messages", "KiB sent", "wall(ms)");
-  bench::PrintRule();
+  const std::vector<size_t> kCrowds = {100, 300, 1000, 3000, 10000};
+  const int per_cell = opt.trials;
+  const int total = static_cast<int>(kCrowds.size()) * per_cell;
 
-  for (size_t crowd : {100u, 300u, 1000u, 3000u, 10000u}) {
-    // Keep the plan constant: n=5, quota scales with C so that C tracks
-    // the crowd (a survey of ~1/5 of the population).
-    uint64_t c_card = crowd / 5;
-    core::EdgeletFramework fw(bench::StandardFleet(crowd, 80, 21));
-    if (!fw.Init().ok()) return 1;
-    query::Query q = bench::SurveyQuery(c_card, 21);
-    core::PrivacyConfig privacy;
-    privacy.max_tuples_per_edgelet = (c_card + 4) / 5;  // n = 5
-    auto d = fw.Plan(q, privacy, {0.05, 0.99},
-                     exec::Strategy::kOvercollection);
-    if (!d.ok()) {
-      std::printf("%13zu planning failed: %s\n", crowd,
-                  d.status().ToString().c_str());
-      continue;
-    }
-    exec::ExecutionConfig ec;
-    ec.collection_window = 2 * kMinute;
-    ec.deadline = 10 * kMinute;
-    ec.inject_failures = false;
-    ec.seed = 2;
+  bench::WallTimer timer;
+  bench::TrialExecutor executor(opt.jobs);
+  std::vector<TrialResult> results = executor.Map(total, [&](int i) {
+    return RunOne(kCrowds[i / per_cell], i % per_cell);
+  });
 
-    auto wall_start = std::chrono::steady_clock::now();
-    auto report = fw.Execute(*d, ec);
-    auto wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
-                       std::chrono::steady_clock::now() - wall_start)
-                       .count();
-    if (!report.ok()) {
-      std::printf("%13zu execution failed\n", crowd);
-      continue;
+  std::printf("%13s %8s %12s %12s %12s %10s %8s\n", "contributors", "C",
+              "done(sim)", "messages", "KiB sent", "wall(ms)", "skipped");
+  bench::PrintRule(82);
+  bench::BenchJson json("scalability", opt);
+  int skipped_total = 0;
+  for (size_t c = 0; c < kCrowds.size(); ++c) {
+    int completed = 0, skipped = 0, successes = 0;
+    SimTime sum_completion = 0;
+    uint64_t sum_msgs = 0, sum_bytes = 0;
+    int64_t sum_wall = 0;
+    for (int t = 0; t < per_cell; ++t) {
+      const TrialResult& r = results[c * per_cell + t];
+      if (r.status.skipped) {
+        ++skipped;
+        continue;
+      }
+      ++completed;
+      if (r.success) {
+        ++successes;
+        sum_completion += r.completion;
+      }
+      sum_msgs += r.msgs;
+      sum_bytes += r.bytes;
+      sum_wall += r.wall_ms;
     }
-    std::printf("%13zu %8llu %12s %12llu %12.1f %10lld\n", crowd,
-                static_cast<unsigned long long>(c_card),
-                report->success
-                    ? FormatSimTime(report->completion_time).c_str()
+    skipped_total += skipped;
+    uint64_t c_card = kCrowds[c] / 5;
+    if (completed == 0) {
+      std::printf("%13zu %8llu %12s %12s %12s %10s %8d\n", kCrowds[c],
+                  static_cast<unsigned long long>(c_card), "-", "-", "-", "-",
+                  skipped);
+    } else {
+      std::printf(
+          "%13zu %8llu %12s %12llu %12.1f %10lld %8d\n", kCrowds[c],
+          static_cast<unsigned long long>(c_card),
+          successes ? FormatSimTime(sum_completion / successes).c_str()
                     : "timeout",
-                static_cast<unsigned long long>(report->messages_sent),
-                report->bytes_sent / 1024.0,
-                static_cast<long long>(wall_ms));
+          static_cast<unsigned long long>(sum_msgs / completed),
+          sum_bytes / 1024.0 / completed,
+          static_cast<long long>(sum_wall / completed), skipped);
+    }
+    json.AddRow(
+        {{"contributors", bench::JsonNum(kCrowds[c])},
+         {"snapshot_cardinality", bench::JsonNum(c_card)},
+         {"completed", bench::JsonNum(completed)},
+         {"skipped", bench::JsonNum(skipped)},
+         {"successes", bench::JsonNum(successes)},
+         {"mean_completion_sim_us",
+          bench::JsonNum(successes ? sum_completion / successes : 0)},
+         {"mean_msgs", bench::JsonNum(completed ? sum_msgs / completed : 0)},
+         {"mean_kib",
+          bench::JsonNum(completed ? sum_bytes / 1024.0 / completed : 0.0)},
+         {"mean_wall_ms",
+          bench::JsonNum(completed ? sum_wall / completed : int64_t{0})}});
   }
+  if (skipped_total > 0) {
+    std::printf("\nWARNING: %d trial(s) skipped (Init/Plan/Execute "
+                "failure).\n", skipped_total);
+  }
+  json.Write(timer.ElapsedMs(), skipped_total);
   return 0;
 }

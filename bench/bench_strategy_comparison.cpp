@@ -5,73 +5,158 @@
 // Expected shape: at the same resiliency goal, Backup needs more devices
 // and far more messages (every input is replicated to each standby, plus
 // liveness pings), and completes no faster; both deliver valid results.
+//
+// Runs on the parallel trial harness (trial_runner.h): --jobs fans the
+// (p, strategy, trial) grid across cores without changing any result.
 
 #include "bench_util.h"
+#include "common/hash.h"
+#include "trial_runner.h"
 
 using namespace edgelet;
 
-int main() {
+namespace {
+
+struct TrialResult {
+  bench::TrialStatus status;
+  bool success = false;
+  bool valid = false;
+  uint64_t msgs = 0;
+  uint64_t bytes = 0;
+  size_t devices = 0;
+  uint64_t fingerprint = 0;
+};
+
+TrialResult RunOne(double p, exec::Strategy strategy, int trial) {
+  TrialResult r;
+  uint64_t seed = 4000 + trial;
+  core::EdgeletFramework fw(bench::StandardFleet(350, 120, seed));
+  if (!fw.Init().ok()) {
+    r.status = {true, "init"};
+    return r;
+  }
+  query::Query q = bench::SurveyQuery(60, seed);
+  core::PrivacyConfig privacy;
+  privacy.max_tuples_per_edgelet = 20;  // n = 3
+  auto d = fw.Plan(q, privacy, {p, 0.99}, strategy);
+  if (!d.ok()) {
+    r.status = {true, "plan"};
+    return r;
+  }
+  r.devices = d->combiner_group.size();
+  for (const auto& part : d->sb_groups) {
+    for (const auto& g : part) r.devices += g.size();
+  }
+  for (const auto& part : d->computer_groups) {
+    for (const auto& g : part) r.devices += g.size();
+  }
+  exec::ExecutionConfig ec;
+  ec.collection_window = 90 * kSecond;
+  ec.deadline = 8 * kMinute;
+  ec.inject_failures = true;
+  ec.failure_probability = p;
+  ec.seed = seed + 17;
+  auto report = fw.Execute(*d, ec);
+  if (!report.ok()) {
+    r.status = {true, "execute"};
+    return r;
+  }
+  r.msgs = report->messages_sent;
+  r.bytes = report->bytes_sent;
+  r.fingerprint = exec::ReportFingerprint(*report);
+  if (report->success) {
+    r.success = true;
+    auto validity = fw.VerifyGroupingSets(*d, *report);
+    r.valid = validity.ok() && validity->valid;
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::HarnessOptions opt = bench::ParseHarnessOptions(
+      argc, argv, "strategy_comparison", /*default_trials=*/10);
   bench::PrintHeader(
       "STRAT: Overcollection vs Backup at the same resiliency goal",
       "Expected: Backup costs more devices and messages for the same "
       "success rate; Overcollection is the cheap default for distributive "
       "processing.");
 
-  const int kTrials = 10;
-  std::printf("%9s %-15s %9s %8s %10s %10s %9s\n", "p", "strategy",
-              "success", "valid", "mean msgs", "mean KiB", "devices");
-  bench::PrintRule();
-
+  struct CellSpec {
+    double p;
+    exec::Strategy strategy;
+  };
+  std::vector<CellSpec> cells;
   for (double p : {0.05, 0.15}) {
-    for (exec::Strategy strategy :
+    for (exec::Strategy s :
          {exec::Strategy::kOvercollection, exec::Strategy::kBackup}) {
-      int successes = 0, valid = 0, planned = 0;
-      uint64_t sum_msgs = 0, sum_bytes = 0;
-      size_t devices = 0;
-      for (int trial = 0; trial < kTrials; ++trial) {
-        uint64_t seed = 4000 + trial;
-        core::EdgeletFramework fw(bench::StandardFleet(350, 120, seed));
-        if (!fw.Init().ok()) continue;
-        query::Query q = bench::SurveyQuery(60, seed);
-        core::PrivacyConfig privacy;
-        privacy.max_tuples_per_edgelet = 20;  // n = 3
-        auto d = fw.Plan(q, privacy, {p, 0.99}, strategy);
-        if (!d.ok()) continue;
-        ++planned;
-        devices = d->combiner_group.size();
-        for (const auto& part : d->sb_groups) {
-          for (const auto& g : part) devices += g.size();
-        }
-        for (const auto& part : d->computer_groups) {
-          for (const auto& g : part) devices += g.size();
-        }
-        exec::ExecutionConfig ec;
-        ec.collection_window = 90 * kSecond;
-        ec.deadline = 8 * kMinute;
-        ec.inject_failures = true;
-        ec.failure_probability = p;
-        ec.seed = seed + 17;
-        auto report = fw.Execute(*d, ec);
-        if (!report.ok()) continue;
-        sum_msgs += report->messages_sent;
-        sum_bytes += report->bytes_sent;
-        if (report->success) {
-          ++successes;
-          auto validity = fw.VerifyGroupingSets(*d, *report);
-          if (validity.ok() && validity->valid) ++valid;
-        }
-      }
-      std::printf("%9.2f %-15s %8d%% %7d%% %10llu %10.1f %9zu\n", p,
-                  std::string(exec::StrategyName(strategy)).c_str(),
-                  planned ? 100 * successes / planned : 0,
-                  successes ? 100 * valid / successes : 0,
-                  static_cast<unsigned long long>(
-                      planned ? sum_msgs / planned : 0),
-                  planned ? sum_bytes / 1024.0 / planned : 0.0, devices);
+      cells.push_back({p, s});
     }
+  }
+  const int per_cell = opt.trials;
+  const int total = static_cast<int>(cells.size()) * per_cell;
+
+  bench::WallTimer timer;
+  bench::TrialExecutor executor(opt.jobs);
+  std::vector<TrialResult> results = executor.Map(total, [&](int i) {
+    const CellSpec& cell = cells[i / per_cell];
+    return RunOne(cell.p, cell.strategy, i % per_cell);
+  });
+
+  std::printf("%9s %-15s %9s %8s %10s %10s %9s %8s\n", "p", "strategy",
+              "success", "valid", "mean msgs", "mean KiB", "devices",
+              "skipped");
+  bench::PrintRule(86);
+  bench::BenchJson json("strategy_comparison", opt);
+  int skipped_total = 0;
+  for (size_t c = 0; c < cells.size(); ++c) {
+    int successes = 0, valid = 0, completed = 0, skipped = 0;
+    uint64_t sum_msgs = 0, sum_bytes = 0, fingerprint = 0;
+    size_t devices = 0;
+    for (int t = 0; t < per_cell; ++t) {
+      const TrialResult& r = results[c * per_cell + t];
+      if (r.status.skipped) {
+        ++skipped;
+        continue;
+      }
+      ++completed;
+      devices = r.devices;
+      sum_msgs += r.msgs;
+      sum_bytes += r.bytes;
+      if (r.success) ++successes;
+      if (r.valid) ++valid;
+      fingerprint = HashCombine(fingerprint, r.fingerprint);
+    }
+    skipped_total += skipped;
+    std::printf("%9.2f %-15s %8d%% %7d%% %10llu %10.1f %9zu %8d\n",
+                cells[c].p,
+                std::string(exec::StrategyName(cells[c].strategy)).c_str(),
+                completed ? 100 * successes / completed : 0,
+                successes ? 100 * valid / successes : 0,
+                static_cast<unsigned long long>(
+                    completed ? sum_msgs / completed : 0),
+                completed ? sum_bytes / 1024.0 / completed : 0.0, devices,
+                skipped);
+    json.AddRow(
+        {{"p", bench::JsonNum(cells[c].p)},
+         {"strategy",
+          bench::JsonStr(exec::StrategyName(cells[c].strategy))},
+         {"success", bench::JsonNum(successes)},
+         {"valid", bench::JsonNum(valid)},
+         {"completed", bench::JsonNum(completed)},
+         {"skipped", bench::JsonNum(skipped)},
+         {"mean_msgs",
+          bench::JsonNum(completed ? sum_msgs / completed : 0)},
+         {"mean_kib",
+          bench::JsonNum(completed ? sum_bytes / 1024.0 / completed : 0.0)},
+         {"devices", bench::JsonNum(devices)},
+         {"report_fingerprint",
+          bench::JsonStr(std::to_string(fingerprint))}});
   }
   std::printf("\n(devices = Data Processor edgelets mobilized by the plan; "
               "Backup replicates every operator, Overcollection adds m "
               "partitions)\n");
+  json.Write(timer.ElapsedMs(), skipped_total);
   return 0;
 }

@@ -1,0 +1,242 @@
+#ifndef EDGELET_BENCH_TRIAL_RUNNER_H_
+#define EDGELET_BENCH_TRIAL_RUNNER_H_
+
+// Parallel trial harness for the sweep benches.
+//
+// Every sweep is a list of independent, seed-deterministic trials. The
+// harness fans them across a common/thread_pool.h worker pool and returns
+// results in submission order, so the printed tables and the JSON output
+// are identical for any --jobs value (each simulation stays
+// single-threaded and bit-identical per seed; see the determinism test).
+//
+// Flags understood by every converted bench:
+//   --jobs N     worker threads (default: hardware concurrency)
+//   --trials N   trials per sweep cell (default: bench-specific)
+//   --json PATH  write machine-readable results (default: BENCH_<name>.json
+//                in the current directory)
+//   --no-json    disable the JSON artifact
+//
+// JSON schema (one object per file):
+//   {
+//     "bench": "<name>", "jobs": N, "trials": N,
+//     "wall_ms": W,            // wall-clock of the whole sweep
+//     "skipped_trials": S,     // trials dropped by Init/Plan/Execute
+//     "rows": [ {<cell fields>...}, ... ]
+//   }
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace edgelet::bench {
+
+struct HarnessOptions {
+  int jobs = 1;
+  int trials = 1;
+  std::string json_path;  // empty = JSON disabled
+};
+
+// Outcome bookkeeping for one (config, seed) trial. A trial that fails
+// Init/Plan/Execute is *skipped* — counted and reported, never silently
+// dropped from the success-rate denominator.
+struct TrialStatus {
+  bool skipped = false;
+  const char* skip_stage = "";  // "init" | "plan" | "execute"
+};
+
+inline HarnessOptions ParseHarnessOptions(int argc, char** argv,
+                                          const char* bench_name,
+                                          int default_trials) {
+  HarnessOptions opt;
+  opt.jobs = static_cast<int>(ThreadPool::DefaultParallelism());
+  opt.trials = default_trials;
+  opt.json_path = std::string("BENCH_") + bench_name + ".json";
+  for (int i = 1; i < argc; ++i) {
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s needs a value\n", argv[0], flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    auto positive_int = [&](const char* flag) {
+      const char* text = need_value(flag);
+      char* end = nullptr;
+      long v = std::strtol(text, &end, 10);
+      if (end == text || *end != '\0' || v < 1) {
+        std::fprintf(stderr, "%s: %s expects a positive integer, got '%s'\n",
+                     argv[0], flag, text);
+        std::exit(2);
+      }
+      return static_cast<int>(v);
+    };
+    if (std::strcmp(argv[i], "--jobs") == 0) {
+      opt.jobs = positive_int("--jobs");
+    } else if (std::strcmp(argv[i], "--trials") == 0) {
+      opt.trials = positive_int("--trials");
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      opt.json_path = need_value("--json");
+    } else if (std::strcmp(argv[i], "--no-json") == 0) {
+      opt.json_path.clear();
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      std::printf(
+          "usage: %s [--jobs N] [--trials N] [--json PATH | --no-json]\n"
+          "  --jobs N    worker threads (default: hardware concurrency)\n"
+          "  --trials N  trials per sweep cell (default: %d)\n"
+          "  --json PATH machine-readable output (default: BENCH_%s.json)\n",
+          argv[0], default_trials, bench_name);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "%s: unknown flag '%s' (try --help)\n", argv[0],
+                   argv[i]);
+      std::exit(2);
+    }
+  }
+  return opt;
+}
+
+// Fans fn(0..n-1) across `jobs` workers and returns the results in index
+// order — deterministic output regardless of completion order. jobs <= 1
+// runs inline (the true serial baseline: no pool, no futures).
+class TrialExecutor {
+ public:
+  explicit TrialExecutor(int jobs) {
+    if (jobs > 1) pool_ = std::make_unique<ThreadPool>(jobs);
+  }
+
+  template <typename Fn>
+  auto Map(int n, Fn fn) -> std::vector<decltype(fn(0))> {
+    using R = decltype(fn(0));
+    std::vector<R> out;
+    out.reserve(n);
+    if (pool_ == nullptr) {
+      for (int i = 0; i < n; ++i) out.push_back(fn(i));
+      return out;
+    }
+    std::vector<std::future<R>> futures;
+    futures.reserve(n);
+    for (int i = 0; i < n; ++i) {
+      futures.push_back(pool_->Submit([&fn, i]() { return fn(i); }));
+    }
+    for (auto& f : futures) out.push_back(f.get());
+    return out;
+  }
+
+ private:
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+// --- Minimal JSON emission -------------------------------------------------
+
+inline std::string JsonStr(std::string_view s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+inline std::string JsonNum(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+template <typename T, typename = std::enable_if_t<std::is_integral_v<T>>>
+inline std::string JsonNum(T v) {
+  return std::to_string(v);
+}
+inline std::string JsonBool(bool v) { return v ? "true" : "false"; }
+
+// Accumulates the harness JSON artifact. Field values must already be
+// JSON-encoded (JsonStr/JsonNum/JsonBool).
+class BenchJson {
+ public:
+  using Fields = std::vector<std::pair<std::string, std::string>>;
+
+  BenchJson(std::string bench_name, const HarnessOptions& opt)
+      : bench_name_(std::move(bench_name)), opt_(opt) {}
+
+  void AddRow(Fields fields) {
+    std::string row = "{";
+    for (size_t i = 0; i < fields.size(); ++i) {
+      if (i > 0) row += ", ";
+      row += JsonStr(fields[i].first) + ": " + fields[i].second;
+    }
+    row += "}";
+    rows_.push_back(std::move(row));
+  }
+
+  // Writes the artifact; on failure warns on stderr and returns false.
+  // Disabled (empty path) returns true silently.
+  bool Write(int64_t wall_ms, int skipped_trials) const {
+    if (opt_.json_path.empty()) return true;
+    std::FILE* f = std::fopen(opt_.json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n",
+                   opt_.json_path.c_str());
+      return false;
+    }
+    std::fprintf(f,
+                 "{\n  \"bench\": %s,\n  \"jobs\": %d,\n  \"trials\": %d,\n"
+                 "  \"wall_ms\": %lld,\n  \"skipped_trials\": %d,\n"
+                 "  \"rows\": [\n",
+                 JsonStr(bench_name_).c_str(), opt_.jobs, opt_.trials,
+                 static_cast<long long>(wall_ms), skipped_trials);
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "    %s%s\n", rows_[i].c_str(),
+                   i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\n[json: %s]\n", opt_.json_path.c_str());
+    return true;
+  }
+
+ private:
+  std::string bench_name_;
+  HarnessOptions opt_;
+  std::vector<std::string> rows_;
+};
+
+// Wall-clock stopwatch for the sweep's JSON record.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  int64_t ElapsedMs() const {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace edgelet::bench
+
+#endif  // EDGELET_BENCH_TRIAL_RUNNER_H_

@@ -4,38 +4,17 @@
 
 namespace edgelet {
 
-void Writer::PutU16(uint16_t v) {
-  PutU8(static_cast<uint8_t>(v));
-  PutU8(static_cast<uint8_t>(v >> 8));
-}
-
-void Writer::PutU32(uint32_t v) {
-  for (int i = 0; i < 4; ++i) PutU8(static_cast<uint8_t>(v >> (8 * i)));
-}
-
-void Writer::PutU64(uint64_t v) {
-  for (int i = 0; i < 8; ++i) PutU8(static_cast<uint8_t>(v >> (8 * i)));
-}
-
-void Writer::PutDouble(double v) {
-  uint64_t bits;
-  static_assert(sizeof(bits) == sizeof(v));
-  std::memcpy(&bits, &v, sizeof(bits));
-  PutU64(bits);
-}
-
-void Writer::PutVarint(uint64_t v) {
+void Writer::PutVarintSlow(uint64_t v) {
+  // LEB128 never exceeds 10 bytes for 64-bit input; stage on the stack and
+  // append once.
+  uint8_t tmp[10];
+  size_t n = 0;
   while (v >= 0x80) {
-    PutU8(static_cast<uint8_t>(v) | 0x80);
+    tmp[n++] = static_cast<uint8_t>(v) | 0x80;
     v >>= 7;
   }
-  PutU8(static_cast<uint8_t>(v));
-}
-
-void Writer::PutVarintSigned(int64_t v) {
-  uint64_t zz = (static_cast<uint64_t>(v) << 1) ^
-                static_cast<uint64_t>(v >> 63);
-  PutVarint(zz);
+  tmp[n++] = static_cast<uint8_t>(v);
+  buf_.insert(buf_.end(), tmp, tmp + n);
 }
 
 void Writer::PutString(std::string_view s) {
@@ -112,7 +91,7 @@ Result<double> Reader::GetDouble() {
   return d;
 }
 
-Result<uint64_t> Reader::GetVarint() {
+Result<uint64_t> Reader::GetVarintSlow() {
   uint64_t v = 0;
   int shift = 0;
   for (;;) {

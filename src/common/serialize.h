@@ -2,6 +2,7 @@
 #define EDGELET_COMMON_SERIALIZE_H_
 
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <string_view>
 
@@ -14,32 +15,67 @@ namespace edgelet {
 // LEB128 varints; strings and blobs are varint-length-prefixed. The wire
 // format is what edgelets exchange (inside AEAD envelopes), so it must be
 // deterministic and platform independent.
+//
+// Fixed-width puts stage the bytes in a small stack buffer and append with
+// one insert, and the common one-byte varint is inlined; encoding a message
+// is a handful of memcpy-sized appends rather than per-byte push_backs.
 class Writer {
  public:
   Writer() = default;
+  explicit Writer(size_t reserve_bytes) { buf_.reserve(reserve_bytes); }
 
   void PutU8(uint8_t v) { buf_.push_back(v); }
-  void PutU16(uint16_t v);
-  void PutU32(uint32_t v);
-  void PutU64(uint64_t v);
+  void PutU16(uint16_t v) { PutFixed(v); }
+  void PutU32(uint32_t v) { PutFixed(v); }
+  void PutU64(uint64_t v) { PutFixed(v); }
   void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
   void PutBool(bool v) { PutU8(v ? 1 : 0); }
-  void PutDouble(double v);
+  void PutDouble(double v) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutU64(bits);
+  }
 
   // Unsigned LEB128.
-  void PutVarint(uint64_t v);
+  void PutVarint(uint64_t v) {
+    if (v < 0x80) {
+      buf_.push_back(static_cast<uint8_t>(v));
+      return;
+    }
+    PutVarintSlow(v);
+  }
   // ZigZag-encoded signed varint.
-  void PutVarintSigned(int64_t v);
+  void PutVarintSigned(int64_t v) {
+    uint64_t zz = (static_cast<uint64_t>(v) << 1) ^
+                  static_cast<uint64_t>(v >> 63);
+    PutVarint(zz);
+  }
 
   void PutString(std::string_view s);
   void PutBytes(const Bytes& b);
   void PutRaw(const void* data, size_t len);
+
+  // Clears the content but keeps the allocation, so one Writer can encode
+  // a stream of messages without reallocating per message.
+  void Reset() { buf_.clear(); }
+  void Reserve(size_t n) { buf_.reserve(n); }
 
   const Bytes& data() const { return buf_; }
   Bytes Take() { return std::move(buf_); }
   size_t size() const { return buf_.size(); }
 
  private:
+  template <typename T>
+  void PutFixed(T v) {
+    uint8_t tmp[sizeof(T)];
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      tmp[i] = static_cast<uint8_t>(v >> (8 * i));
+    }
+    buf_.insert(buf_.end(), tmp, tmp + sizeof(T));
+  }
+  void PutVarintSlow(uint64_t v);
+
   Bytes buf_;
 };
 
@@ -57,7 +93,18 @@ class Reader {
   Result<int64_t> GetI64();
   Result<bool> GetBool();
   Result<double> GetDouble();
-  Result<uint64_t> GetVarint();
+  Result<uint64_t> GetVarint() {
+    // One-byte fast path: the overwhelmingly common case for lengths and
+    // small counters.
+    if (pos_ < len_) {
+      uint8_t byte = data_[pos_];
+      if ((byte & 0x80) == 0) {
+        ++pos_;
+        return static_cast<uint64_t>(byte);
+      }
+    }
+    return GetVarintSlow();
+  }
   Result<int64_t> GetVarintSigned();
   Result<std::string> GetString();
   Result<Bytes> GetBytes();
@@ -67,6 +114,7 @@ class Reader {
 
  private:
   Status Need(size_t n);
+  Result<uint64_t> GetVarintSlow();
 
   const uint8_t* data_;
   size_t len_;

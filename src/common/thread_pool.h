@@ -1,0 +1,62 @@
+#ifndef EDGELET_COMMON_THREAD_POOL_H_
+#define EDGELET_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace edgelet {
+
+// Fixed-size worker pool with a FIFO task queue. Submit() hands back a
+// std::future for the task's result (exceptions propagate through it).
+// The destructor drains every queued task before joining, so futures
+// obtained from a live pool always become ready.
+//
+// The pool carries no Edgelet state: trial-level parallelism keeps each
+// simulation single-threaded and bit-identical per seed, so fanning
+// independent (config, seed) trials across workers cannot change results.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  template <typename Fn>
+  auto Submit(Fn fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      tasks_.push([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  // Hardware thread count; never 0.
+  static size_t DefaultParallelism();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace edgelet
+
+#endif  // EDGELET_COMMON_THREAD_POOL_H_

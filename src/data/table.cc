@@ -70,6 +70,22 @@ Status Table::Concat(const Table& other) {
   return Status::OK();
 }
 
+Status Table::Concat(Table&& other) {
+  if (!(schema_ == other.schema_)) {
+    return Status::InvalidArgument("cannot concat tables: schema mismatch " +
+                                   schema_.ToString() + " vs " +
+                                   other.schema_.ToString());
+  }
+  if (rows_.empty()) {
+    rows_ = std::move(other.rows_);
+  } else {
+    rows_.insert(rows_.end(), std::make_move_iterator(other.rows_.begin()),
+                 std::make_move_iterator(other.rows_.end()));
+  }
+  other.rows_.clear();
+  return Status::OK();
+}
+
 void Table::SortRows() {
   std::sort(rows_.begin(), rows_.end(), [](const Tuple& a, const Tuple& b) {
     for (size_t i = 0; i < a.size() && i < b.size(); ++i) {

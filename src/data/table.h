@@ -47,6 +47,18 @@ class Table {
 
   // Appends all rows of `other`; schemas must match exactly.
   Status Concat(const Table& other);
+  // Move-append: steals `other`'s rows (leaving it empty) instead of
+  // copying every tuple. The fast path when the receiver is still empty is
+  // a plain vector move.
+  Status Concat(Table&& other);
+
+  // Relinquishes the row storage (the table is left empty). Lets trusted
+  // consumers move tuples out of a decoded message instead of copying.
+  std::vector<Tuple> TakeRows() {
+    std::vector<Tuple> out = std::move(rows_);
+    rows_.clear();
+    return out;
+  }
 
   // Deterministic order: sorts rows lexicographically by value. Used to
   // compare distributed and centralized results independent of arrival

@@ -17,6 +17,37 @@ std::string_view StrategyName(Strategy strategy) {
   return "?";
 }
 
+void SerializeReport(const ExecutionReport& report, Writer* w) {
+  w->PutBool(report.success);
+  w->PutU64(report.completion_time);
+  report.result.Serialize(w);
+  w->PutVarint(report.partitions_used.size());
+  for (uint32_t p : report.partitions_used) w->PutU32(p);
+  w->PutVarint(report.epochs_used.size());
+  for (uint32_t e : report.epochs_used) w->PutU32(e);
+  w->PutVarintSigned(report.n);
+  w->PutVarintSigned(report.m);
+  w->PutU8(static_cast<uint8_t>(report.strategy));
+  w->PutVarint(report.processors_killed);
+  w->PutVarint(report.contributors_participating);
+  w->PutU32(report.duplicate_results);
+  w->PutU64(report.messages_sent);
+  w->PutU64(report.messages_delivered);
+  w->PutU64(report.bytes_sent);
+  w->PutVarint(report.snapshot_contributors_by_vgroup.size());
+  for (const auto& vg : report.snapshot_contributors_by_vgroup) {
+    w->PutVarint(vg.size());
+    for (uint64_t key : vg) w->PutU64(key);
+  }
+  w->PutU64(report.max_observed_exposure_tuples);
+}
+
+uint64_t ReportFingerprint(const ExecutionReport& report) {
+  Writer w;
+  SerializeReport(report, &w);
+  return Fnv1a64(w.data().data(), w.size());
+}
+
 QueryExecution::QueryExecution(net::Simulator* sim, net::Network* network,
                                device::Fleet* fleet, Deployment deployment,
                                ExecutionConfig config)
@@ -34,6 +65,9 @@ Status QueryExecution::Start() {
   base_ = sim_->now();
   if (config_.enable_trace) trace_ = std::make_unique<ExecutionTrace>();
   stats_before_ = network_->stats();
+  // Every contributor schedules a contribution plus churn/resend events;
+  // pre-size the event queue so the collection burst doesn't regrow it.
+  sim_->ReserveEvents(fleet_->contributors().size() * 2 + 256);
 
   EDGELET_RETURN_NOT_OK(BuildContributors());
   EDGELET_RETURN_NOT_OK(BuildSnapshotBuilders());

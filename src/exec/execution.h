@@ -3,6 +3,7 @@
 
 #include <memory>
 
+#include "common/serialize.h"
 #include "device/fleet.h"
 #include "exec/combiner.h"
 #include "exec/computer.h"
@@ -87,6 +88,15 @@ struct ExecutionConfig {
   int emission_resends = 2;
   SimDuration resend_interval = 15 * kSecond;
 };
+
+// Canonical byte encoding of an ExecutionReport: every field, fixed order.
+// Two reports are equal iff their encodings are byte-identical; the
+// determinism tests and the parallel trial harness use this to prove that
+// serial and parallel sweeps produce identical per-seed results.
+struct ExecutionReport;
+void SerializeReport(const ExecutionReport& report, Writer* w);
+// FNV-1a fingerprint over SerializeReport's bytes.
+uint64_t ReportFingerprint(const ExecutionReport& report);
 
 struct ExecutionReport {
   bool success = false;

@@ -58,14 +58,17 @@ void SnapshotBuilderActor::OnContribution(const net::Message& msg) {
     buffer_ = data::Table(contribution->rows.schema());
     have_schema_ = true;
   }
-  for (const auto& row : contribution->rows.rows()) {
+  const uint64_t contributed_rows = contribution->rows.num_rows();
+  // The decoded message is ours: move its tuples into the buffer instead
+  // of copying value-by-value.
+  for (auto& row : contribution->rows.TakeRows()) {
     if (buffer_.num_rows() >= config_.quota) break;
-    buffer_.AppendUnchecked(row);
+    buffer_.AppendUnchecked(std::move(row));
     included_.push_back(contribution->contributor_key);
   }
   // Raw cleartext data is now inside this enclave: exposure accounting.
-  dev()->enclave().RecordClearTextTuples(
-      contribution->rows.num_rows(), buffer_.schema().num_columns());
+  dev()->enclave().RecordClearTextTuples(contributed_rows,
+                                         buffer_.schema().num_columns());
   MaybeEmit();
 }
 

@@ -1,18 +1,58 @@
 #include "net/simulator.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace edgelet::net {
 
-Simulator::Simulator(uint64_t seed) : rng_(seed) {}
+Simulator::Simulator(uint64_t seed) : rng_(seed) {
+  // A modest pre-size: enough for small fixtures, irrelevant next to the
+  // amortized growth of real fleets (which call ReserveEvents up front).
+  ReserveEvents(64);
+}
+
+void Simulator::ReserveEvents(size_t n) {
+  heap_.reserve(n);
+  slots_.reserve(n);
+}
+
+uint32_t Simulator::AllocSlot(std::function<void()> fn) {
+  uint32_t slot;
+  if (free_head_ != kNoFreeSlot) {
+    slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+  } else {
+    slot = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  slots_[slot].fn = std::move(fn);
+  return slot;
+}
+
+void Simulator::FreeSlot(uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.fn = nullptr;
+  // Bumping the generation tombstones every outstanding handle and heap
+  // entry that still refers to this slot.
+  ++s.gen;
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
+void Simulator::PopEntry() {
+  std::pop_heap(heap_.begin(), heap_.end(), EntryLater{});
+  heap_.pop_back();
+}
 
 uint64_t Simulator::ScheduleAt(SimTime t, std::function<void()> fn) {
   assert(t >= now_);
   if (t < now_) t = now_;
-  uint64_t id = next_id_++;
-  queue_.push(Event{t, id, std::move(fn)});
-  pending_ids_.insert(id);
-  return id;
+  uint32_t slot = AllocSlot(std::move(fn));
+  uint32_t gen = slots_[slot].gen;
+  heap_.push_back(HeapEntry{t, next_seq_++, slot, gen});
+  std::push_heap(heap_.begin(), heap_.end(), EntryLater{});
+  ++live_events_;
+  return MakeHandle(slot, gen);
 }
 
 uint64_t Simulator::ScheduleAfter(SimDuration delay, std::function<void()> fn) {
@@ -21,19 +61,29 @@ uint64_t Simulator::ScheduleAfter(SimDuration delay, std::function<void()> fn) {
 }
 
 bool Simulator::Cancel(uint64_t event_id) {
-  // Only events still pending can be cancelled; Cancel after execution is a
-  // no-op returning false.
-  return pending_ids_.erase(event_id) > 0;
+  uint32_t slot = static_cast<uint32_t>(event_id >> 32);
+  uint32_t gen = static_cast<uint32_t>(event_id);
+  // A stale generation means the event already ran or was cancelled (the
+  // slot may even host a different event by now); both are no-ops.
+  if (slot >= slots_.size() || slots_[slot].gen != gen) return false;
+  FreeSlot(slot);
+  --live_events_;
+  return true;
 }
 
 bool Simulator::Step() {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    if (pending_ids_.erase(ev.id) == 0) continue;  // cancelled
-    now_ = ev.time;
+  while (!heap_.empty()) {
+    HeapEntry e = heap_.front();
+    PopEntry();
+    if (IsTombstone(e)) continue;  // cancelled
+    now_ = e.time;
     ++events_executed_;
-    ev.fn();
+    --live_events_;
+    // Free the slot before running so the callback can cancel/schedule
+    // freely (its own handle is already stale) and the slot is reusable.
+    std::function<void()> fn = std::move(slots_[e.slot].fn);
+    FreeSlot(e.slot);
+    fn();
     return true;
   }
   return false;
@@ -43,11 +93,9 @@ size_t Simulator::RunUntil(SimTime until) {
   size_t executed = 0;
   for (;;) {
     // Drop cancelled events from the head so the peek below is accurate.
-    while (!queue_.empty() && pending_ids_.count(queue_.top().id) == 0) {
-      queue_.pop();
-    }
-    if (queue_.empty()) break;
-    if (queue_.top().time > until) break;
+    while (!heap_.empty() && IsTombstone(heap_.front())) PopEntry();
+    if (heap_.empty()) break;
+    if (heap_.front().time > until) break;
     if (!Step()) break;
     ++executed;
   }

@@ -3,8 +3,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "common/rng.h"
@@ -16,6 +14,12 @@ namespace edgelet::net {
 // order; ties break by scheduling order so runs are fully deterministic for
 // a given seed. All Edgelet executions — heartbeats, message deliveries,
 // churn transitions, deadlines — are events on this queue.
+//
+// The queue is a binary heap of trivially-copyable keys; callbacks live in
+// a generation-counted slot slab. Cancellation bumps the slot generation
+// (a tombstone), so Schedule/Step/Cancel are all array operations with no
+// per-event hashing, and slots are recycled through a free list so a
+// steady-state simulation stops allocating.
 class Simulator {
  public:
   explicit Simulator(uint64_t seed = 1);
@@ -43,28 +47,53 @@ class Simulator {
   size_t RunUntil(SimTime until);
   size_t Run() { return RunUntil(kSimTimeNever); }
 
+  // Pre-sizes the heap and the callback slab for `n` in-flight events.
+  void ReserveEvents(size_t n);
+
   size_t events_executed() const { return events_executed_; }
-  size_t pending_events() const { return pending_ids_.size(); }
+  size_t pending_events() const { return live_events_; }
 
  private:
-  struct Event {
+  // 24-byte POD heap key; sift operations never touch the std::function.
+  struct HeapEntry {
     SimTime time;
-    uint64_t id;  // also the tie-breaker: monotonically increasing
-    std::function<void()> fn;
+    uint64_t seq;  // global scheduling order: breaks time ties FIFO
+    uint32_t slot;
+    uint32_t gen;
   };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
+  // Min-heap on (time, seq) via the std heap algorithms (which build a
+  // max-heap w.r.t. the comparator, so "later" sorts toward the leaves).
+  struct EntryLater {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
       if (a.time != b.time) return a.time > b.time;
-      return a.id > b.id;
+      return a.seq > b.seq;
     }
   };
+  struct Slot {
+    std::function<void()> fn;
+    uint32_t gen = 1;
+    uint32_t next_free = kNoFreeSlot;
+  };
+  static constexpr uint32_t kNoFreeSlot = 0xFFFFFFFFu;
+
+  static uint64_t MakeHandle(uint32_t slot, uint32_t gen) {
+    return (static_cast<uint64_t>(slot) << 32) | gen;
+  }
+
+  uint32_t AllocSlot(std::function<void()> fn);
+  void FreeSlot(uint32_t slot);
+  bool IsTombstone(const HeapEntry& e) const {
+    return slots_[e.slot].gen != e.gen;
+  }
+  void PopEntry();
 
   SimTime now_ = 0;
-  uint64_t next_id_ = 1;
+  uint64_t next_seq_ = 1;
   size_t events_executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
-  // Ids scheduled but not yet executed or cancelled.
-  std::unordered_set<uint64_t> pending_ids_;
+  size_t live_events_ = 0;
+  std::vector<HeapEntry> heap_;
+  std::vector<Slot> slots_;
+  uint32_t free_head_ = kNoFreeSlot;
   Rng rng_;
 };
 

@@ -4,10 +4,9 @@ namespace edgelet::query {
 
 namespace {
 
-Bytes SerializeKey(const data::Tuple& key) {
-  Writer w;
-  for (const auto& v : key) v.Serialize(&w);
-  return w.Take();
+void SerializeKey(const data::Tuple& key, Writer* w) {
+  w->Reset();
+  for (const auto& v : key) v.Serialize(w);
 }
 
 }  // namespace
@@ -66,12 +65,15 @@ Result<GroupedAggregation> GroupedAggregation::Compute(
     }
   }
 
+  // One reused key encoder for the whole scan; the map copies the bytes
+  // only when the group is new.
+  Writer key_writer;
   for (const auto& row : table.rows()) {
     data::Tuple key;
     key.reserve(key_idx.size());
     for (size_t i : key_idx) key.push_back(row[i]);
-    Bytes key_bytes = SerializeKey(key);
-    auto [it, inserted] = out.groups_.try_emplace(std::move(key_bytes));
+    SerializeKey(key, &key_writer);
+    auto [it, inserted] = out.groups_.try_emplace(key_writer.data());
     if (inserted) {
       it->second.key = std::move(key);
       it->second.states.resize(spec.aggregates.size());
@@ -164,6 +166,7 @@ Result<GroupedAggregation> GroupedAggregation::Deserialize(Reader* r) {
   GroupedAggregation out(std::move(*spec));
   auto n = r->GetVarint();
   if (!n.ok()) return n.status();
+  Writer key_writer;
   for (uint64_t g = 0; g < *n; ++g) {
     Group group;
     auto nk = r->GetVarint();
@@ -180,8 +183,8 @@ Result<GroupedAggregation> GroupedAggregation::Deserialize(Reader* r) {
       if (!s.ok()) return s.status();
       group.states.push_back(std::move(*s));
     }
-    Bytes key_bytes = SerializeKey(group.key);
-    out.groups_.emplace(std::move(key_bytes), std::move(group));
+    SerializeKey(group.key, &key_writer);
+    out.groups_.emplace(key_writer.data(), std::move(group));
   }
   return out;
 }

@@ -6,10 +6,17 @@ namespace edgelet::resilience {
 
 namespace {
 
+// std::lgamma writes the process-global `signgam`, which is a data race
+// when trials run on the parallel bench harness; lgamma_r is reentrant.
+// All arguments here are >= 1, so the sign is always +1 anyway.
+double LogGamma(double x) {
+  int sign = 0;
+  return lgamma_r(x, &sign);
+}
+
 // log C(n, k) via lgamma.
 double LogChoose(int n, int k) {
-  return std::lgamma(n + 1.0) - std::lgamma(k + 1.0) -
-         std::lgamma(n - k + 1.0);
+  return LogGamma(n + 1.0) - LogGamma(k + 1.0) - LogGamma(n - k + 1.0);
 }
 
 }  // namespace

@@ -1,0 +1,85 @@
+// The parallel trial harness (bench/trial_runner.h) relies on one
+// invariant: a trial's ExecutionReport is a pure function of its
+// (config, seed), so fanning trials across a thread pool changes only
+// wall-clock time, never results. This test pins that invariant at the
+// exec layer — the same seeds run serially and on a 4-worker pool must
+// produce byte-identical serialized reports.
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/framework.h"
+
+namespace edgelet::core {
+namespace {
+
+using query::AggregateFunction;
+using query::CompareOp;
+
+uint64_t RunTrial(uint64_t seed) {
+  FrameworkConfig cfg;
+  cfg.fleet.num_contributors = 200;
+  cfg.fleet.num_processors = 40;
+  cfg.fleet.enable_churn = false;
+  cfg.seed = seed;
+  EdgeletFramework fw(cfg);
+  EXPECT_TRUE(fw.Init().ok());
+
+  query::Query q;
+  q.query_id = 31;
+  q.kind = query::QueryKind::kGroupingSets;
+  q.predicates = {{"age", CompareOp::kGt, data::Value(int64_t{65})}};
+  q.snapshot_cardinality = 40;
+  q.grouping_sets = query::GroupingSetsSpec{
+      {{"region"}},
+      {{AggregateFunction::kCount, "*"}, {AggregateFunction::kAvg, "bmi"}}};
+
+  PrivacyConfig privacy;
+  privacy.max_tuples_per_edgelet = 20;
+  auto d = fw.Plan(q, privacy, {0.1, 0.99}, exec::Strategy::kOvercollection);
+  EXPECT_TRUE(d.ok()) << d.status().ToString();
+
+  exec::ExecutionConfig ec;
+  ec.collection_window = 60 * kSecond;
+  ec.deadline = 8 * kMinute;
+  ec.inject_failures = true;
+  ec.failure_probability = 0.1;
+  ec.seed = seed + 5;
+  auto report = fw.Execute(*d, ec);
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  return exec::ReportFingerprint(*report);
+}
+
+const std::vector<uint64_t> kSeeds = {11, 22, 33, 44, 55, 66};
+
+TEST(ExecDeterminismTest, SameSeedReproducesIdenticalReport) {
+  for (uint64_t seed : {11u, 22u}) {
+    EXPECT_EQ(RunTrial(seed), RunTrial(seed)) << "seed " << seed;
+  }
+}
+
+TEST(ExecDeterminismTest, DistinctSeedsProduceDistinctReports) {
+  // Not a hard guarantee, but with different fleets/failures a collision
+  // would point at a fingerprint bug.
+  EXPECT_NE(RunTrial(11), RunTrial(22));
+}
+
+TEST(ExecDeterminismTest, ParallelTrialsMatchSerialTrials) {
+  std::vector<uint64_t> serial;
+  for (uint64_t seed : kSeeds) serial.push_back(RunTrial(seed));
+
+  ThreadPool pool(4);
+  std::vector<std::future<uint64_t>> futures;
+  for (uint64_t seed : kSeeds) {
+    futures.push_back(pool.Submit([seed]() { return RunTrial(seed); }));
+  }
+  for (size_t i = 0; i < kSeeds.size(); ++i) {
+    EXPECT_EQ(futures[i].get(), serial[i]) << "seed " << kSeeds[i];
+  }
+}
+
+}  // namespace
+}  // namespace edgelet::core

@@ -111,6 +111,104 @@ TEST(SimulatorTest, DeterministicRngAttached) {
   EXPECT_EQ(a.rng().NextU64(), b.rng().NextU64());
 }
 
+TEST(SimulatorTest, CancelOtherEventFromInsideExecutingEvent) {
+  Simulator sim;
+  int fired = 0;
+  uint64_t victim = sim.ScheduleAt(10, [&] { ++fired; });
+  sim.ScheduleAt(5, [&] { EXPECT_TRUE(sim.Cancel(victim)); });
+  sim.Run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sim.events_executed(), 1u);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, CancelOwnIdInsideExecutingEventIsNoOp) {
+  Simulator sim;
+  uint64_t id = 0;
+  bool cancel_result = true;
+  id = sim.ScheduleAt(5, [&] { cancel_result = sim.Cancel(id); });
+  sim.Run();
+  // The event is already executing: it is no longer pending.
+  EXPECT_FALSE(cancel_result);
+  EXPECT_EQ(sim.events_executed(), 1u);
+}
+
+TEST(SimulatorTest, StaleHandleAfterSlotReuseDoesNotCancelNewEvent) {
+  Simulator sim;
+  int fired = 0;
+  uint64_t a = sim.ScheduleAt(10, [&] { fired += 1; });
+  EXPECT_TRUE(sim.Cancel(a));
+  // Reuses a's internal storage; the stale handle must not reach it.
+  uint64_t b = sim.ScheduleAt(20, [&] { fired += 10; });
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(sim.Cancel(a));
+  sim.Run();
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(SimulatorTest, PendingCountTracksCancellation) {
+  Simulator sim;
+  uint64_t a = sim.ScheduleAt(10, [] {});
+  sim.ScheduleAt(20, [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  EXPECT_TRUE(sim.Cancel(a));
+  EXPECT_EQ(sim.pending_events(), 1u);
+  EXPECT_FALSE(sim.Cancel(a));  // double-cancel: count unchanged
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.Run();
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, RunUntilSkipsCancelledHeadEvents) {
+  Simulator sim;
+  int fired = 0;
+  uint64_t a = sim.ScheduleAt(5, [&] { ++fired; });
+  uint64_t b = sim.ScheduleAt(6, [&] { ++fired; });
+  sim.ScheduleAt(10, [&] { ++fired; });
+  sim.ScheduleAt(100, [&] { ++fired; });
+  EXPECT_TRUE(sim.Cancel(a));
+  EXPECT_TRUE(sim.Cancel(b));
+  EXPECT_EQ(sim.RunUntil(50), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 10u);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(SimulatorTest, CancelledEventsDoNotAdvanceClock) {
+  Simulator sim;
+  uint64_t a = sim.ScheduleAt(5, [] {});
+  sim.ScheduleAt(10, [] {});
+  sim.Cancel(a);
+  sim.Step();
+  EXPECT_EQ(sim.now(), 10u);
+  EXPECT_EQ(sim.events_executed(), 1u);
+}
+
+TEST(SimulatorTest, RescheduleChurnRecyclesSlots) {
+  // Cancel/schedule cycles (timeout patterns) must neither leak pending
+  // count nor confuse later handles.
+  Simulator sim(9);
+  int fired = 0;
+  uint64_t pending = sim.ScheduleAt(1000000, [&] { ++fired; });
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(sim.Cancel(pending));
+    pending = sim.ScheduleAt(1000000 + i, [&] { ++fired; });
+  }
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulatorTest, ReserveEventsDoesNotDisturbState) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(3, [&] { ++fired; });
+  sim.ReserveEvents(4096);
+  sim.ScheduleAt(1, [&] { ++fired; });
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
 TEST(SimulatorTest, ManyEventsStressOrdering) {
   Simulator sim(3);
   SimTime last = 0;
