@@ -8,62 +8,90 @@ namespace edgelet::crypto {
 
 namespace {
 
-Tag128 ComputeTag(const Key256& key, const Nonce96& nonce, const Bytes& aad,
-                  const Bytes& ciphertext) {
+// mac = Poly1305(otk, aad || pad16 || ct || pad16 || len(aad) || len(ct)),
+// computed incrementally over the aad and ciphertext in place — the padded
+// concatenation never exists as a buffer.
+Tag128 ComputeTag(const Key256& key, const Nonce96& nonce, const uint8_t* aad,
+                  size_t aad_len, const uint8_t* ciphertext, size_t ct_len) {
   // One-time Poly1305 key = first 32 bytes of ChaCha20 block 0.
   std::array<uint8_t, 64> block0 = ChaCha20Block(key, nonce, 0);
   std::array<uint8_t, 32> otk;
   std::memcpy(otk.data(), block0.data(), 32);
 
-  // mac_data = aad || pad16 || ct || pad16 || len(aad) || len(ct).
-  Bytes mac_data;
-  mac_data.reserve(aad.size() + ciphertext.size() + 32);
-  auto pad16 = [&mac_data]() {
-    while (mac_data.size() % 16 != 0) mac_data.push_back(0);
-  };
-  mac_data.insert(mac_data.end(), aad.begin(), aad.end());
-  pad16();
-  mac_data.insert(mac_data.end(), ciphertext.begin(), ciphertext.end());
-  pad16();
-  uint64_t lens[2] = {aad.size(), ciphertext.size()};
-  for (uint64_t v : lens) {
+  static constexpr uint8_t kPad[16] = {0};
+  Poly1305 mac(otk);
+  mac.Update(aad, aad_len);
+  if (aad_len % 16 != 0) mac.Update(kPad, 16 - aad_len % 16);
+  mac.Update(ciphertext, ct_len);
+  if (ct_len % 16 != 0) mac.Update(kPad, 16 - ct_len % 16);
+  uint8_t lens[16];
+  uint64_t vals[2] = {aad_len, ct_len};
+  for (int v = 0; v < 2; ++v) {
     for (int i = 0; i < 8; ++i) {
-      mac_data.push_back(static_cast<uint8_t>(v >> (8 * i)));
+      lens[8 * v + i] = static_cast<uint8_t>(vals[v] >> (8 * i));
     }
   }
-  return Poly1305Mac(otk, mac_data);
+  mac.Update(lens, 16);
+  return mac.Finalize();
 }
 
 }  // namespace
 
+void AeadSealInto(const Key256& key, const Nonce96& nonce, const uint8_t* aad,
+                  size_t aad_len, const uint8_t* plaintext,
+                  size_t plaintext_len, Bytes* out) {
+  out->resize(plaintext_len + 16);
+  if (plaintext_len > 0) std::memcpy(out->data(), plaintext, plaintext_len);
+  ChaCha20XorInPlace(key, nonce, 1, out->data(), plaintext_len);
+  Tag128 tag = ComputeTag(key, nonce, aad, aad_len, out->data(),
+                          plaintext_len);
+  std::memcpy(out->data() + plaintext_len, tag.data(), tag.size());
+}
+
+Status AeadOpenInto(const Key256& key, const Nonce96& nonce,
+                    const uint8_t* aad, size_t aad_len, const uint8_t* sealed,
+                    size_t sealed_len, Bytes* out) {
+  if (sealed_len < 16) {
+    return Status::Corruption("AEAD message shorter than tag");
+  }
+  size_t ct_len = sealed_len - 16;
+  // The tag runs over the ciphertext region of `sealed` directly; no
+  // intermediate ciphertext copy is made.
+  Tag128 expected = ComputeTag(key, nonce, aad, aad_len, sealed, ct_len);
+  if (!ConstantTimeEquals(expected.data(), sealed + ct_len, 16)) {
+    return Status::Corruption("AEAD tag mismatch");
+  }
+  out->resize(ct_len);
+  if (ct_len > 0) std::memcpy(out->data(), sealed, ct_len);
+  ChaCha20XorInPlace(key, nonce, 1, out->data(), ct_len);
+  return Status::OK();
+}
+
 Bytes AeadSeal(const Key256& key, const Nonce96& nonce, const Bytes& aad,
                const Bytes& plaintext) {
-  Bytes ciphertext = ChaCha20Xor(key, nonce, 1, plaintext);
-  Tag128 tag = ComputeTag(key, nonce, aad, ciphertext);
-  ciphertext.insert(ciphertext.end(), tag.begin(), tag.end());
-  return ciphertext;
+  Bytes out;
+  AeadSealInto(key, nonce, aad.data(), aad.size(), plaintext.data(),
+               plaintext.size(), &out);
+  return out;
 }
 
 Result<Bytes> AeadOpen(const Key256& key, const Nonce96& nonce,
                        const Bytes& aad, const Bytes& sealed) {
-  if (sealed.size() < 16) {
-    return Status::Corruption("AEAD message shorter than tag");
-  }
-  Bytes ciphertext(sealed.begin(), sealed.end() - 16);
-  Tag128 expected = ComputeTag(key, nonce, aad, ciphertext);
-  const uint8_t* got = sealed.data() + sealed.size() - 16;
-  if (!ConstantTimeEquals(expected.data(), got, 16)) {
-    return Status::Corruption("AEAD tag mismatch");
-  }
-  return ChaCha20Xor(key, nonce, 1, ciphertext);
+  Bytes out;
+  Status s = AeadOpenInto(key, nonce, aad.data(), aad.size(), sealed.data(),
+                          sealed.size(), &out);
+  if (!s.ok()) return s;
+  return out;
 }
 
 Nonce96 NonceFromSequence(uint64_t channel_id, uint64_t seq) {
+  uint32_t chan = static_cast<uint32_t>(channel_id) ^
+                  static_cast<uint32_t>(channel_id >> 32);
   Nonce96 nonce;
-  nonce[0] = static_cast<uint8_t>(channel_id);
-  nonce[1] = static_cast<uint8_t>(channel_id >> 8);
-  nonce[2] = static_cast<uint8_t>(channel_id >> 16);
-  nonce[3] = static_cast<uint8_t>(channel_id >> 24);
+  nonce[0] = static_cast<uint8_t>(chan);
+  nonce[1] = static_cast<uint8_t>(chan >> 8);
+  nonce[2] = static_cast<uint8_t>(chan >> 16);
+  nonce[3] = static_cast<uint8_t>(chan >> 24);
   for (int i = 0; i < 8; ++i) {
     nonce[4 + i] = static_cast<uint8_t>(seq >> (8 * i));
   }

@@ -20,8 +20,23 @@ Bytes AeadSeal(const Key256& key, const Nonce96& nonce, const Bytes& aad,
 Result<Bytes> AeadOpen(const Key256& key, const Nonce96& nonce,
                        const Bytes& aad, const Bytes& sealed);
 
+// In-place variants — the hot message path. Both write into a caller-
+// provided buffer that is resized to fit, so reusing one scratch Bytes
+// across calls makes the steady state allocation-free. `out` must not alias
+// the plaintext/sealed input. Outputs are byte-identical to AeadSeal /
+// AeadOpen (which are thin wrappers over these).
+void AeadSealInto(const Key256& key, const Nonce96& nonce, const uint8_t* aad,
+                  size_t aad_len, const uint8_t* plaintext,
+                  size_t plaintext_len, Bytes* out);
+Status AeadOpenInto(const Key256& key, const Nonce96& nonce,
+                    const uint8_t* aad, size_t aad_len, const uint8_t* sealed,
+                    size_t sealed_len, Bytes* out);
+
 // Deterministic nonce from a message sequence number (per-channel keys make
-// this safe: each (key, seq) pair is used at most once).
+// this safe: each (key, seq) pair is used at most once). All 64 bits of
+// `channel_id` feed the nonce: the high half is XOR-folded into the 32-bit
+// channel field, so two channels differing only in their high bits do not
+// collide. Channel ids below 2^32 produce the same nonce as always.
 Nonce96 NonceFromSequence(uint64_t channel_id, uint64_t seq);
 
 }  // namespace edgelet::crypto

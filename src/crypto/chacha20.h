@@ -17,6 +17,14 @@ using Nonce96 = std::array<uint8_t, 12>;
 Bytes ChaCha20Xor(const Key256& key, const Nonce96& nonce, uint32_t counter,
                   const Bytes& input);
 
+// In-place variant — the hot path behind every sealed message. Keystream is
+// generated four blocks at a time into a stack scratch buffer (independent
+// blocks in structure-of-arrays layout, which the compiler auto-vectorizes)
+// and XORed over `data` word-at-a-time. No heap allocation. ChaCha20Xor is
+// a thin copy-then-XorInPlace wrapper, so both produce identical bytes.
+void ChaCha20XorInPlace(const Key256& key, const Nonce96& nonce,
+                        uint32_t counter, uint8_t* data, size_t len);
+
 // Raw 64-byte keystream block; exposed for Poly1305 key derivation and
 // for tests against the RFC 8439 vectors.
 std::array<uint8_t, 64> ChaCha20Block(const Key256& key, const Nonce96& nonce,

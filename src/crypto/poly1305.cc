@@ -6,150 +6,174 @@ namespace edgelet::crypto {
 
 namespace {
 
-inline uint32_t LoadLe32(const uint8_t* p) {
-  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
-         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+inline uint64_t LoadLe64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+  v = __builtin_bswap64(v);
+#endif
+  return v;
 }
+
+inline void StoreLe64(uint8_t* p, uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+constexpr uint64_t kMask44 = 0xfffffffffff;
+constexpr uint64_t kMask42 = 0x3ffffffffff;
+
+// The "add 2^128" bit of a full 16-byte block: bit 128 lands at position
+// 128 - 88 = 40 of the top (42-bit) limb.
+constexpr uint64_t kFullBlockHighBit = 1ull << 40;
 
 }  // namespace
 
-Tag128 Poly1305Mac(const std::array<uint8_t, 32>& key, const Bytes& message) {
-  // r with clamping (RFC 8439 §2.5.1), split into 26-bit limbs.
-  uint32_t t0 = LoadLe32(key.data() + 0);
-  uint32_t t1 = LoadLe32(key.data() + 4);
-  uint32_t t2 = LoadLe32(key.data() + 8);
-  uint32_t t3 = LoadLe32(key.data() + 12);
+Poly1305::Poly1305(const std::array<uint8_t, 32>& key) {
+  // r with clamping (RFC 8439 §2.5.1), split into 44/44/42-bit limbs.
+  uint64_t t0 = LoadLe64(key.data() + 0);
+  uint64_t t1 = LoadLe64(key.data() + 8);
 
-  uint32_t r0 = t0 & 0x3ffffff;
-  uint32_t r1 = ((t0 >> 26) | (t1 << 6)) & 0x3ffff03;
-  uint32_t r2 = ((t1 >> 20) | (t2 << 12)) & 0x3ffc0ff;
-  uint32_t r3 = ((t2 >> 14) | (t3 << 18)) & 0x3f03fff;
-  uint32_t r4 = (t3 >> 8) & 0x00fffff;
+  r_[0] = t0 & 0xffc0fffffff;
+  r_[1] = ((t0 >> 44) | (t1 << 20)) & 0xfffffc0ffff;
+  r_[2] = (t1 >> 24) & 0x00ffffffc0f;
 
-  uint32_t s1 = r1 * 5, s2 = r2 * 5, s3 = r3 * 5, s4 = r4 * 5;
+  // Folding limb i+3 back into limb i multiplies by 2^132 mod p = 5 * 2^2.
+  rs_[0] = r_[1] * 20;
+  rs_[1] = r_[2] * 20;
 
-  uint32_t h0 = 0, h1 = 0, h2 = 0, h3 = 0, h4 = 0;
+  pad_[0] = LoadLe64(key.data() + 16);
+  pad_[1] = LoadLe64(key.data() + 24);
+}
 
-  size_t len = message.size();
-  const uint8_t* m = message.data();
-  while (len > 0) {
-    uint8_t block[17] = {0};
-    size_t take = len < 16 ? len : 16;
-    std::memcpy(block, m, take);
-    block[take] = 1;  // the "add 2^n" bit
+void Poly1305::ProcessBlocks(const uint8_t* m, size_t nblocks,
+                             uint64_t hibit) {
+  uint64_t r0 = r_[0], r1 = r_[1], r2 = r_[2];
+  uint64_t s1 = rs_[0], s2 = rs_[1];
+  uint64_t h0 = h_[0], h1 = h_[1], h2 = h_[2];
 
-    uint32_t b0 = LoadLe32(block + 0);
-    uint32_t b1 = LoadLe32(block + 4);
-    uint32_t b2 = LoadLe32(block + 8);
-    uint32_t b3 = LoadLe32(block + 12);
-    uint32_t b4 = block[16];
+  while (nblocks-- > 0) {
+    uint64_t t0 = LoadLe64(m + 0);
+    uint64_t t1 = LoadLe64(m + 8);
 
-    h0 += b0 & 0x3ffffff;
-    h1 += ((b0 >> 26) | (b1 << 6)) & 0x3ffffff;
-    h2 += ((b1 >> 20) | (b2 << 12)) & 0x3ffffff;
-    h3 += ((b2 >> 14) | (b3 << 18)) & 0x3ffffff;
-    h4 += (b3 >> 8) | (static_cast<uint32_t>(b4) << 24);
+    h0 += t0 & kMask44;
+    h1 += ((t0 >> 44) | (t1 << 20)) & kMask44;
+    h2 += ((t1 >> 24) & kMask42) | hibit;
 
     using u128 = unsigned __int128;
-    u128 d0 = (u128)h0 * r0 + (u128)h1 * s4 + (u128)h2 * s3 + (u128)h3 * s2 +
-              (u128)h4 * s1;
-    u128 d1 = (u128)h0 * r1 + (u128)h1 * r0 + (u128)h2 * s4 + (u128)h3 * s3 +
-              (u128)h4 * s2;
-    u128 d2 = (u128)h0 * r2 + (u128)h1 * r1 + (u128)h2 * r0 + (u128)h3 * s4 +
-              (u128)h4 * s3;
-    u128 d3 = (u128)h0 * r3 + (u128)h1 * r2 + (u128)h2 * r1 + (u128)h3 * r0 +
-              (u128)h4 * s4;
-    u128 d4 = (u128)h0 * r4 + (u128)h1 * r3 + (u128)h2 * r2 + (u128)h3 * r1 +
-              (u128)h4 * r0;
+    u128 d0 = (u128)h0 * r0 + (u128)h1 * s2 + (u128)h2 * s1;
+    u128 d1 = (u128)h0 * r1 + (u128)h1 * r0 + (u128)h2 * s2;
+    u128 d2 = (u128)h0 * r2 + (u128)h1 * r1 + (u128)h2 * r0;
 
-    uint64_t c;
-    c = static_cast<uint64_t>(d0 >> 26);
-    h0 = static_cast<uint32_t>(d0) & 0x3ffffff;
+    uint64_t c = static_cast<uint64_t>(d0 >> 44);
+    h0 = static_cast<uint64_t>(d0) & kMask44;
     d1 += c;
-    c = static_cast<uint64_t>(d1 >> 26);
-    h1 = static_cast<uint32_t>(d1) & 0x3ffffff;
+    c = static_cast<uint64_t>(d1 >> 44);
+    h1 = static_cast<uint64_t>(d1) & kMask44;
     d2 += c;
-    c = static_cast<uint64_t>(d2 >> 26);
-    h2 = static_cast<uint32_t>(d2) & 0x3ffffff;
-    d3 += c;
-    c = static_cast<uint64_t>(d3 >> 26);
-    h3 = static_cast<uint32_t>(d3) & 0x3ffffff;
-    d4 += c;
-    c = static_cast<uint64_t>(d4 >> 26);
-    h4 = static_cast<uint32_t>(d4) & 0x3ffffff;
-    h0 += static_cast<uint32_t>(c) * 5;
-    h1 += h0 >> 26;
-    h0 &= 0x3ffffff;
+    c = static_cast<uint64_t>(d2 >> 42);
+    h2 = static_cast<uint64_t>(d2) & kMask42;
+    h0 += c * 5;
+    c = h0 >> 44;
+    h0 &= kMask44;
+    h1 += c;
 
-    m += take;
-    len -= take;
+    m += 16;
   }
 
+  h_[0] = h0;
+  h_[1] = h1;
+  h_[2] = h2;
+}
+
+void Poly1305::Update(const uint8_t* data, size_t len) {
+  if (buffer_len_ > 0) {
+    size_t take = len < 16 - buffer_len_ ? len : 16 - buffer_len_;
+    std::memcpy(buffer_ + buffer_len_, data, take);
+    buffer_len_ += take;
+    data += take;
+    len -= take;
+    if (buffer_len_ < 16) return;
+    ProcessBlocks(buffer_, 1, kFullBlockHighBit);
+    buffer_len_ = 0;
+  }
+  size_t nblocks = len / 16;
+  if (nblocks > 0) {
+    ProcessBlocks(data, nblocks, kFullBlockHighBit);
+    data += nblocks * 16;
+    len -= nblocks * 16;
+  }
+  if (len > 0) {
+    std::memcpy(buffer_, data, len);
+    buffer_len_ = len;
+  }
+}
+
+Tag128 Poly1305::Finalize() {
+  if (buffer_len_ > 0) {
+    // Final partial block: append the 1 bit in-band, zero-pad to 16 bytes,
+    // and process with no extra high bit (buffer_len_ < 16 always holds —
+    // full blocks are consumed eagerly by Update).
+    uint8_t block[16] = {0};
+    std::memcpy(block, buffer_, buffer_len_);
+    block[buffer_len_] = 1;
+    ProcessBlocks(block, 1, 0);
+    buffer_len_ = 0;
+  }
+
+  uint64_t h0 = h_[0], h1 = h_[1], h2 = h_[2];
+
   // Full carry propagation.
-  uint32_t c;
-  c = h1 >> 26;
-  h1 &= 0x3ffffff;
+  uint64_t c;
+  c = h1 >> 44;
+  h1 &= kMask44;
   h2 += c;
-  c = h2 >> 26;
-  h2 &= 0x3ffffff;
-  h3 += c;
-  c = h3 >> 26;
-  h3 &= 0x3ffffff;
-  h4 += c;
-  c = h4 >> 26;
-  h4 &= 0x3ffffff;
+  c = h2 >> 42;
+  h2 &= kMask42;
   h0 += c * 5;
-  c = h0 >> 26;
-  h0 &= 0x3ffffff;
+  c = h0 >> 44;
+  h0 &= kMask44;
+  h1 += c;
+  c = h1 >> 44;
+  h1 &= kMask44;
+  h2 += c;
+  c = h2 >> 42;
+  h2 &= kMask42;
+  h0 += c * 5;
+  c = h0 >> 44;
+  h0 &= kMask44;
   h1 += c;
 
   // Compute h + -p and select.
-  uint32_t g0 = h0 + 5;
-  c = g0 >> 26;
-  g0 &= 0x3ffffff;
-  uint32_t g1 = h1 + c;
-  c = g1 >> 26;
-  g1 &= 0x3ffffff;
-  uint32_t g2 = h2 + c;
-  c = g2 >> 26;
-  g2 &= 0x3ffffff;
-  uint32_t g3 = h3 + c;
-  c = g3 >> 26;
-  g3 &= 0x3ffffff;
-  uint32_t g4 = h4 + c - (1u << 26);
+  uint64_t g0 = h0 + 5;
+  c = g0 >> 44;
+  g0 &= kMask44;
+  uint64_t g1 = h1 + c;
+  c = g1 >> 44;
+  g1 &= kMask44;
+  uint64_t g2 = h2 + c - (1ull << 42);
 
-  uint32_t mask = (g4 >> 31) - 1;  // all-ones if h >= p
+  uint64_t mask = (g2 >> 63) - 1;  // all-ones if h >= p
   h0 = (h0 & ~mask) | (g0 & mask);
   h1 = (h1 & ~mask) | (g1 & mask);
   h2 = (h2 & ~mask) | (g2 & mask);
-  h3 = (h3 & ~mask) | (g3 & mask);
-  h4 = (h4 & ~mask) | (g4 & mask);
 
-  // Serialize h to 128 bits.
-  uint32_t f0 = h0 | (h1 << 26);
-  uint32_t f1 = (h1 >> 6) | (h2 << 20);
-  uint32_t f2 = (h2 >> 12) | (h3 << 14);
-  uint32_t f3 = (h3 >> 18) | (h4 << 8);
-
-  // Add s (second key half) mod 2^128.
-  uint64_t acc;
-  acc = static_cast<uint64_t>(f0) + LoadLe32(key.data() + 16);
-  f0 = static_cast<uint32_t>(acc);
-  acc = static_cast<uint64_t>(f1) + LoadLe32(key.data() + 20) + (acc >> 32);
-  f1 = static_cast<uint32_t>(acc);
-  acc = static_cast<uint64_t>(f2) + LoadLe32(key.data() + 24) + (acc >> 32);
-  f2 = static_cast<uint32_t>(acc);
-  acc = static_cast<uint64_t>(f3) + LoadLe32(key.data() + 28) + (acc >> 32);
-  f3 = static_cast<uint32_t>(acc);
+  // Serialize h to 128 bits and add the pad (second key half) mod 2^128.
+  uint64_t f0 = h0 | (h1 << 44);
+  uint64_t f1 = (h1 >> 20) | (h2 << 24);
+  uint64_t lo = f0 + pad_[0];
+  uint64_t carry = lo < f0 ? 1 : 0;
+  uint64_t hi = f1 + pad_[1] + carry;
 
   Tag128 tag;
-  for (int i = 0; i < 4; ++i) {
-    tag[i] = static_cast<uint8_t>(f0 >> (8 * i));
-    tag[4 + i] = static_cast<uint8_t>(f1 >> (8 * i));
-    tag[8 + i] = static_cast<uint8_t>(f2 >> (8 * i));
-    tag[12 + i] = static_cast<uint8_t>(f3 >> (8 * i));
-  }
+  StoreLe64(tag.data(), lo);
+  StoreLe64(tag.data() + 8, hi);
   return tag;
+}
+
+Tag128 Poly1305Mac(const std::array<uint8_t, 32>& key, const Bytes& message) {
+  Poly1305 mac(key);
+  mac.Update(message);
+  return mac.Finalize();
 }
 
 }  // namespace edgelet::crypto

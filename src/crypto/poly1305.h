@@ -10,6 +10,41 @@ namespace edgelet::crypto {
 
 using Tag128 = std::array<uint8_t, 16>;
 
+// Incremental Poly1305 (RFC 8439 §2.5) with a 32-byte one-time key. Full
+// 16-byte blocks are MACed straight out of the caller's buffer — no staging
+// copy — which lets the AEAD tag run over aad and ciphertext in place
+// instead of concatenating them into a scratch message first.
+//
+// The accumulator uses three 44/44/42-bit limbs so each block costs nine
+// 64x64->128 multiplies instead of the twenty-five a 26-bit-limb radix
+// needs.
+//
+//   Poly1305 mac(otk);
+//   mac.Update(aad);
+//   mac.Update(ciphertext);
+//   Tag128 tag = mac.Finalize();   // at most once per instance
+class Poly1305 {
+ public:
+  explicit Poly1305(const std::array<uint8_t, 32>& key);
+
+  void Update(const uint8_t* data, size_t len);
+  void Update(const Bytes& b) { Update(b.data(), b.size()); }
+
+  // Consumes any buffered partial block and returns the tag. The instance
+  // must not be used again afterwards.
+  Tag128 Finalize();
+
+ private:
+  void ProcessBlocks(const uint8_t* m, size_t nblocks, uint64_t hibit);
+
+  uint64_t r_[3];    // clamped key half, 44/44/42-bit limbs
+  uint64_t rs_[2];   // r_[1] * 20, r_[2] * 20 (the mod-p fold-in factors)
+  uint64_t pad_[2];  // second key half, added to the final accumulator
+  uint64_t h_[3] = {0, 0, 0};
+  uint8_t buffer_[16];
+  size_t buffer_len_ = 0;
+};
+
 // One-shot Poly1305 MAC (RFC 8439 §2.5) with a 32-byte one-time key.
 Tag128 Poly1305Mac(const std::array<uint8_t, 32>& key, const Bytes& message);
 

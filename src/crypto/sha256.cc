@@ -83,35 +83,43 @@ void Sha256::ProcessBlock(const uint8_t* block) {
 void Sha256::Update(const void* data, size_t len) {
   const uint8_t* p = static_cast<const uint8_t*>(data);
   bit_count_ += static_cast<uint64_t>(len) * 8;
-  while (len > 0) {
+  // Top up a partially filled buffer first; after that, full blocks are
+  // compressed straight from the caller's data with no staging copy.
+  if (buffer_len_ > 0) {
     size_t take = std::min(len, sizeof(buffer_) - buffer_len_);
     std::memcpy(buffer_ + buffer_len_, p, take);
     buffer_len_ += take;
     p += take;
     len -= take;
-    if (buffer_len_ == sizeof(buffer_)) {
-      ProcessBlock(buffer_);
-      buffer_len_ = 0;
-    }
+    if (buffer_len_ < sizeof(buffer_)) return;
+    ProcessBlock(buffer_);
+    buffer_len_ = 0;
+  }
+  while (len >= sizeof(buffer_)) {
+    ProcessBlock(p);
+    p += sizeof(buffer_);
+    len -= sizeof(buffer_);
+  }
+  if (len > 0) {
+    std::memcpy(buffer_, p, len);
+    buffer_len_ = len;
   }
 }
 
 Digest256 Sha256::Finish() {
-  uint64_t bits = bit_count_;
-  // Padding: 0x80 then zeros until 56 mod 64, then 64-bit big-endian length.
-  uint8_t pad = 0x80;
-  Update(&pad, 1);
-  bit_count_ -= 8;  // padding does not count toward the message length
-  uint8_t zero = 0;
-  while (buffer_len_ != 56) {
-    Update(&zero, 1);
-    bit_count_ -= 8;
-  }
-  uint8_t len_be[8];
+  // Padding: 0x80 then zeros until 56 mod 64, then the 64-bit big-endian
+  // message length — built on the stack as one or two final blocks.
+  uint8_t final_blocks[128] = {0};
+  std::memcpy(final_blocks, buffer_, buffer_len_);
+  final_blocks[buffer_len_] = 0x80;
+  size_t total = buffer_len_ + 1 + 8 <= 64 ? 64 : 128;
   for (int i = 0; i < 8; ++i) {
-    len_be[i] = static_cast<uint8_t>(bits >> (56 - 8 * i));
+    final_blocks[total - 8 + i] =
+        static_cast<uint8_t>(bit_count_ >> (56 - 8 * i));
   }
-  Update(len_be, 8);
+  ProcessBlock(final_blocks);
+  if (total == 128) ProcessBlock(final_blocks + 64);
+  buffer_len_ = 0;
 
   Digest256 out;
   for (int i = 0; i < 8; ++i) {

@@ -64,10 +64,16 @@ Status Device::SendSealed(net::NodeId to, uint32_t type,
   msg.to = to;
   msg.type = type;
   msg.seq = next_seq_++;
-  auto sealed =
-      enclave_->SealFor(to, msg.seq, net::MessageAad(msg), plaintext);
-  if (!sealed.ok()) return sealed.status();
-  msg.payload = std::move(*sealed);
+  // Stack AAD + pooled payload buffer: the steady-state send path touches
+  // the heap only when the pool is warming up.
+  net::MessageAadBuf aad = net::MessageAadFixed(msg);
+  msg.payload = network_->AcquirePayloadBuffer();
+  Status s = enclave_->SealForInto(to, msg.seq, aad.data(), aad.size(),
+                                   plaintext, &msg.payload);
+  if (!s.ok()) {
+    network_->RecyclePayloadBuffer(std::move(msg.payload));
+    return s;
+  }
   network_->Send(std::move(msg));
   return Status::OK();
 }
@@ -82,9 +88,17 @@ void Device::SendControl(net::NodeId to, uint32_t type, const Bytes& payload) {
   network_->Send(std::move(msg));
 }
 
+Status Device::OpenPayloadInto(const net::Message& msg, Bytes* out) {
+  net::MessageAadBuf aad = net::MessageAadFixed(msg);
+  return enclave_->OpenFromInto(msg.from, msg.seq, aad.data(), aad.size(),
+                                msg.payload, out);
+}
+
 Result<Bytes> Device::OpenPayload(const net::Message& msg) {
-  return enclave_->OpenFrom(msg.from, msg.seq, net::MessageAad(msg),
-                            msg.payload);
+  Bytes out;
+  Status s = OpenPayloadInto(msg, &out);
+  if (!s.ok()) return s;
+  return out;
 }
 
 void Device::OnMessage(const net::Message& msg) {

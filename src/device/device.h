@@ -77,6 +77,9 @@ class Device : public net::Node {
 
   // Opens a sealed payload received from msg.from.
   Result<Bytes> OpenPayload(const net::Message& msg);
+  // Same, into a caller-provided scratch buffer (resized to fit). Reusing
+  // one scratch across messages keeps the receive path allocation-free.
+  Status OpenPayloadInto(const net::Message& msg, Bytes* out);
 
   // net::Node:
   void OnMessage(const net::Message& msg) override;

@@ -52,13 +52,13 @@ void ContributorActor::Contribute() {
 
 void QuerierActor::HandleMessage(const net::Message& msg) {
   if (msg.type != kFinalResult) return;
-  auto payload = dev()->OpenPayload(msg);
-  if (!payload.ok()) {
+  Status opened = OpenSealed(msg);
+  if (!opened.ok()) {
     EDGELET_LOG(kWarning) << "querier failed to open result: "
-                          << payload.status().ToString();
+                          << opened.ToString();
     return;
   }
-  auto result = FinalResultMsg::Decode(*payload);
+  auto result = FinalResultMsg::Decode(opened_payload());
   if (!result.ok() || result->query_id != query_id_) return;
   if (has_result_) {
     ++duplicates_;

@@ -34,14 +34,26 @@ class ActorBase {
   void SealAndSend(net::NodeId to, uint32_t type, const Bytes& payload) {
     (void)dev_->SendSealed(to, type, payload);
   }
+  // Encode once, seal per recipient: the plaintext is shared across the
+  // fan-out while each recipient gets its own pairwise-key ciphertext.
   void SealAndSendAll(const std::vector<net::NodeId>& targets, uint32_t type,
                       const Bytes& payload) {
     for (net::NodeId to : targets) SealAndSend(to, type, payload);
   }
 
+  // Opens msg's sealed payload into a per-actor scratch (see
+  // opened_payload()). The scratch is reused across messages, so the
+  // steady-state receive path never allocates.
+  Status OpenSealed(const net::Message& msg) {
+    return dev_->OpenPayloadInto(msg, &open_scratch_);
+  }
+  // Valid after an OK OpenSealed, until the next OpenSealed call.
+  const Bytes& opened_payload() const { return open_scratch_; }
+
  private:
   net::Simulator* sim_;
   device::Device* dev_;
+  Bytes open_scratch_;
 };
 
 // A Data Contributor: at its scheduled contact time, evaluates the query

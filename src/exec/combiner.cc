@@ -39,9 +39,8 @@ void CombinerActor::HandleMessage(const net::Message& msg) {
 
 void CombinerActor::OnGsPartial(const net::Message& msg) {
   if (result_ready_ || combining_) return;
-  auto payload = dev()->OpenPayload(msg);
-  if (!payload.ok()) return;
-  auto partial = GsPartialMsg::Decode(*payload);
+  if (!OpenSealed(msg).ok()) return;
+  auto partial = GsPartialMsg::Decode(opened_payload());
   if (!partial.ok() || partial->query_id != config_.query_id) return;
 
   PartitionState& state = partitions_[partial->partition];
@@ -119,9 +118,8 @@ void CombinerActor::OnEmitTimer() {
 
 void CombinerActor::OnKmFinal(const net::Message& msg) {
   if (result_ready_) return;
-  auto payload = dev()->OpenPayload(msg);
-  if (!payload.ok()) return;
-  auto report = KmFinalMsg::Decode(*payload);
+  if (!OpenSealed(msg).ok()) return;
+  auto report = KmFinalMsg::Decode(opened_payload());
   if (!report.ok() || report->query_id != config_.query_id) return;
   if (km_partitions_seen_.count(report->partition)) return;
   km_partitions_seen_[report->partition] = true;

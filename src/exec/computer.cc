@@ -47,9 +47,8 @@ void ComputerActor::HandleMessage(const net::Message& msg) {
       break;
     case kKmKnowledge: {
       if (config_.mode != Mode::kKMeans) break;
-      auto payload = dev()->OpenPayload(msg);
-      if (!payload.ok()) break;
-      auto m = KmKnowledgeMsg::Decode(*payload);
+      if (!OpenSealed(msg).ok()) break;
+      auto m = KmKnowledgeMsg::Decode(opened_payload());
       if (!m.ok() || m->query_id != config_.query_id) break;
       auto key = std::make_pair(m->partition, m->round);
       if (seen_rounds_.count(key)) break;  // re-broadcast duplicate
@@ -68,9 +67,8 @@ void ComputerActor::HandleMessage(const net::Message& msg) {
 }
 
 void ComputerActor::OnSlice(const net::Message& msg) {
-  auto payload = dev()->OpenPayload(msg);
-  if (!payload.ok()) return;
-  auto slice = SnapshotSliceMsg::Decode(*payload);
+  if (!OpenSealed(msg).ok()) return;
+  auto slice = SnapshotSliceMsg::Decode(opened_payload());
   if (!slice.ok() || slice->query_id != config_.query_id ||
       slice->partition != config_.partition ||
       slice->vgroup != config_.vgroup) {

@@ -43,9 +43,8 @@ void SnapshotBuilderActor::HandleMessage(const net::Message& msg) {
 
 void SnapshotBuilderActor::OnContribution(const net::Message& msg) {
   if (complete_) return;  // quota reached: later contributions are ignored
-  auto payload = dev()->OpenPayload(msg);
-  if (!payload.ok()) return;
-  auto contribution = ContributionMsg::Decode(*payload);
+  if (!OpenSealed(msg).ok()) return;
+  auto contribution = ContributionMsg::Decode(opened_payload());
   if (!contribution.ok() || contribution->query_id != config_.query_id) {
     return;
   }

@@ -4,13 +4,33 @@
 
 namespace edgelet::net {
 
+namespace {
+
+inline uint8_t* PutLe64(uint8_t* p, uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<uint8_t>(v >> (8 * i));
+  return p + 8;
+}
+
+inline uint8_t* PutLe32(uint8_t* p, uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<uint8_t>(v >> (8 * i));
+  return p + 4;
+}
+
+}  // namespace
+
+MessageAadBuf MessageAadFixed(const Message& msg) {
+  MessageAadBuf aad;
+  uint8_t* p = aad.data();
+  p = PutLe64(p, msg.from);
+  p = PutLe64(p, msg.to);
+  p = PutLe32(p, msg.type);
+  PutLe64(p, msg.seq);
+  return aad;
+}
+
 Bytes MessageAad(const Message& msg) {
-  Writer w;
-  w.PutU64(msg.from);
-  w.PutU64(msg.to);
-  w.PutU32(msg.type);
-  w.PutU64(msg.seq);
-  return w.Take();
+  MessageAadBuf aad = MessageAadFixed(msg);
+  return Bytes(aad.begin(), aad.end());
 }
 
 }  // namespace edgelet::net

@@ -1,6 +1,7 @@
 #ifndef EDGELET_NET_MESSAGE_H_
 #define EDGELET_NET_MESSAGE_H_
 
+#include <array>
 #include <cstdint>
 
 #include "common/bytes.h"
@@ -27,8 +28,14 @@ struct Message {
   }
 };
 
-// The associated data binding the header to the sealed payload.
+// The associated data binding the header to the sealed payload: the wire
+// header fields in order (from, to, type, seq), little-endian fixed width.
 Bytes MessageAad(const Message& msg);
+
+// Same 28 bytes on the stack — the hot path builds the AAD without touching
+// the heap. Byte-identical to MessageAad (asserted in tests).
+using MessageAadBuf = std::array<uint8_t, 28>;
+MessageAadBuf MessageAadFixed(const Message& msg);
 
 // Receiver-side callback interface. Nodes register with a Network and get
 // deliveries plus availability transitions (a home box powered back on, a

@@ -55,16 +55,19 @@ void Network::Send(Message msg) {
   if (from_it == nodes_.end() || from_it->second.dead ||
       !from_it->second.online) {
     ++stats_.dropped_sender_offline;
+    Recycle(std::move(msg));
     return;
   }
   auto to_it = nodes_.find(msg.to);
   if (to_it == nodes_.end() || to_it->second.dead) {
     ++stats_.dropped_dead;
+    Recycle(std::move(msg));
     return;
   }
   if (config_.drop_probability > 0 &&
       sim_->rng().NextBernoulli(config_.drop_probability)) {
     ++stats_.dropped_random;
+    Recycle(std::move(msg));
     return;
   }
   SimDuration latency = config_.latency.Sample(sim_->rng());
@@ -83,6 +86,7 @@ void Network::Deliver(Message msg) {
   auto it = nodes_.find(msg.to);
   if (it == nodes_.end() || it->second.dead) {
     ++stats_.dropped_dead;
+    Recycle(std::move(msg));
     return;
   }
   NodeState& state = it->second;
@@ -91,12 +95,16 @@ void Network::Deliver(Message msg) {
       state.mailbox.emplace_back(sim_->now(), std::move(msg));
     } else {
       ++stats_.dropped_receiver_offline;
+      Recycle(std::move(msg));
     }
     return;
   }
   ++stats_.messages_delivered;
   stats_.bytes_delivered += msg.WireSize();
   state.node->OnMessage(msg);
+  // OnMessage receives the message by const reference; once it returns the
+  // message is consumed and its payload buffer can cycle back to the pool.
+  Recycle(std::move(msg));
 }
 
 void Network::Kill(NodeId id) {
@@ -104,6 +112,7 @@ void Network::Kill(NodeId id) {
   if (it == nodes_.end()) return;
   it->second.dead = true;
   it->second.online = false;
+  for (auto& [enqueued, msg] : it->second.mailbox) Recycle(std::move(msg));
   it->second.mailbox.clear();
 }
 
@@ -135,6 +144,7 @@ void Network::FlushMailbox(NodeId id) {
     if (config_.mailbox_ttl > 0 &&
         sim_->now() - enqueued > config_.mailbox_ttl) {
       ++stats_.expired_in_mailbox;
+      Recycle(std::move(msg));
       continue;
     }
     // Re-check liveness: a delivery callback may have killed the node or
@@ -142,6 +152,7 @@ void Network::FlushMailbox(NodeId id) {
     auto it2 = nodes_.find(id);
     if (it2 == nodes_.end() || it2->second.dead) {
       ++stats_.dropped_dead;
+      Recycle(std::move(msg));
       continue;
     }
     if (!it2->second.online) {
@@ -151,7 +162,23 @@ void Network::FlushMailbox(NodeId id) {
     ++stats_.messages_delivered;
     stats_.bytes_delivered += msg.WireSize();
     it2->second.node->OnMessage(msg);
+    Recycle(std::move(msg));
   }
+}
+
+Bytes Network::AcquirePayloadBuffer() {
+  if (payload_pool_.empty()) return Bytes();
+  Bytes buf = std::move(payload_pool_.back());
+  payload_pool_.pop_back();
+  buf.clear();  // keeps capacity
+  ++stats_.payload_buffers_reused;
+  return buf;
+}
+
+void Network::RecyclePayloadBuffer(Bytes&& buf) {
+  if (buf.capacity() == 0) return;
+  if (payload_pool_.size() >= kMaxPooledBuffers) return;
+  payload_pool_.push_back(std::move(buf));
 }
 
 bool Network::IsOnline(NodeId id) const {

@@ -63,6 +63,9 @@ struct NetworkStats {
   uint64_t expired_in_mailbox = 0;
   uint64_t bytes_sent = 0;
   uint64_t bytes_delivered = 0;
+  // Payload-pool telemetry: reuses counts acquisitions served from the
+  // pool rather than by a fresh allocation.
+  uint64_t payload_buffers_reused = 0;
 };
 
 // Simulated communication fabric between edgelets. Delivery is
@@ -91,6 +94,15 @@ class Network {
   Simulator* simulator() { return sim_; }
   size_t num_nodes() const { return nodes_.size(); }
 
+  // --- Payload buffer pool ----------------------------------------------
+  // Message payloads cycle sender -> network -> receiver -> pool: a sender
+  // seals into an acquired buffer, and the network returns the buffer to
+  // the pool once the message is consumed (delivered, dropped, or expired).
+  // In steady state no per-message heap allocation happens. Buffers keep
+  // their capacity; the pool is bounded so bursts do not pin memory.
+  Bytes AcquirePayloadBuffer();
+  void RecyclePayloadBuffer(Bytes&& buf);
+
  private:
   struct NodeState {
     Node* node = nullptr;
@@ -104,12 +116,17 @@ class Network {
   void Deliver(Message msg);
   void ScheduleChurnTransition(NodeId id);
   void FlushMailbox(NodeId id);
+  // A consumed message's payload goes back to the pool.
+  void Recycle(Message&& msg) { RecyclePayloadBuffer(std::move(msg.payload)); }
+
+  static constexpr size_t kMaxPooledBuffers = 1024;
 
   Simulator* sim_;
   NetworkConfig config_;
   std::unordered_map<NodeId, NodeState> nodes_;
   NodeId next_id_ = 1;
   NetworkStats stats_;
+  std::vector<Bytes> payload_pool_;
 };
 
 }  // namespace edgelet::net

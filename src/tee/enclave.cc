@@ -90,6 +90,7 @@ void Enclave::TamperCode(const std::string& new_identity) {
   // but carries the tampered measurement.
   report_ = authority_->Attest(id_, measurement_);
   provisioned_ = false;
+  pairwise_cache_.clear();
 }
 
 Status Enclave::Provision() {
@@ -97,10 +98,13 @@ Status Enclave::Provision() {
   if (!key.ok()) return key.status();
   group_key_ = *key;
   provisioned_ = true;
+  pairwise_cache_.clear();
   return Status::OK();
 }
 
-crypto::Key256 Enclave::PairwiseKey(uint64_t peer_id) const {
+const crypto::Key256& Enclave::PairwiseKey(uint64_t peer_id) const {
+  auto it = pairwise_cache_.find(peer_id);
+  if (it != pairwise_cache_.end()) return it->second;
   uint64_t lo = std::min(id_, peer_id);
   uint64_t hi = std::max(id_, peer_id);
   Writer w;
@@ -110,25 +114,47 @@ crypto::Key256 Enclave::PairwiseKey(uint64_t peer_id) const {
   crypto::Digest256 d = crypto::HmacSha256(gk, w.Take());
   crypto::Key256 key{};
   std::memcpy(key.data(), d.data(), key.size());
-  return key;
+  return pairwise_cache_.emplace(peer_id, key).first->second;
 }
 
-Result<Bytes> Enclave::SealFor(uint64_t peer_id, uint64_t seq,
-                               const Bytes& aad, const Bytes& plaintext) {
+Status Enclave::SealForInto(uint64_t peer_id, uint64_t seq,
+                            const uint8_t* aad, size_t aad_len,
+                            const Bytes& plaintext, Bytes* out) {
   if (!provisioned_) {
     return Status::FailedPrecondition("enclave not provisioned");
   }
   crypto::Nonce96 nonce = crypto::NonceFromSequence(id_, seq);
-  return crypto::AeadSeal(PairwiseKey(peer_id), nonce, aad, plaintext);
+  crypto::AeadSealInto(PairwiseKey(peer_id), nonce, aad, aad_len,
+                       plaintext.data(), plaintext.size(), out);
+  return Status::OK();
 }
 
-Result<Bytes> Enclave::OpenFrom(uint64_t peer_id, uint64_t seq,
-                                const Bytes& aad, const Bytes& sealed) {
+Status Enclave::OpenFromInto(uint64_t peer_id, uint64_t seq,
+                             const uint8_t* aad, size_t aad_len,
+                             const Bytes& sealed, Bytes* out) {
   if (!provisioned_) {
     return Status::FailedPrecondition("enclave not provisioned");
   }
   crypto::Nonce96 nonce = crypto::NonceFromSequence(peer_id, seq);
-  return crypto::AeadOpen(PairwiseKey(peer_id), nonce, aad, sealed);
+  return crypto::AeadOpenInto(PairwiseKey(peer_id), nonce, aad, aad_len,
+                              sealed.data(), sealed.size(), out);
+}
+
+Result<Bytes> Enclave::SealFor(uint64_t peer_id, uint64_t seq,
+                               const Bytes& aad, const Bytes& plaintext) {
+  Bytes out;
+  Status s = SealForInto(peer_id, seq, aad.data(), aad.size(), plaintext,
+                         &out);
+  if (!s.ok()) return s;
+  return out;
+}
+
+Result<Bytes> Enclave::OpenFrom(uint64_t peer_id, uint64_t seq,
+                                const Bytes& aad, const Bytes& sealed) {
+  Bytes out;
+  Status s = OpenFromInto(peer_id, seq, aad.data(), aad.size(), sealed, &out);
+  if (!s.ok()) return s;
+  return out;
 }
 
 Bytes Enclave::SealToStorage(const Bytes& plaintext) {

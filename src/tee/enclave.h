@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 
 #include "common/bytes.h"
 #include "common/status.h"
@@ -94,6 +95,16 @@ class Enclave {
   Result<Bytes> OpenFrom(uint64_t peer_id, uint64_t seq, const Bytes& aad,
                          const Bytes& sealed);
 
+  // Zero-copy variants — the hot message path. Seal/open into a caller-
+  // provided scratch buffer (resized to fit), taking the aad as a raw span
+  // so callers can keep it on the stack. Reusing one scratch across calls
+  // makes the steady state allocation-free; outputs are byte-identical to
+  // SealFor / OpenFrom, which wrap these.
+  Status SealForInto(uint64_t peer_id, uint64_t seq, const uint8_t* aad,
+                     size_t aad_len, const Bytes& plaintext, Bytes* out);
+  Status OpenFromInto(uint64_t peer_id, uint64_t seq, const uint8_t* aad,
+                      size_t aad_len, const Bytes& sealed, Bytes* out);
+
   // --- Sealed storage ---------------------------------------------------
   Bytes SealToStorage(const Bytes& plaintext);
   Result<Bytes> UnsealFromStorage(const Bytes& sealed);
@@ -111,7 +122,10 @@ class Enclave {
   uint64_t cleartext_cells_observed() const { return cleartext_cells_; }
 
  private:
-  crypto::Key256 PairwiseKey(uint64_t peer_id) const;
+  // HKDF-style derivation is ~1.5µs per call; the derived key for a peer is
+  // immutable for the lifetime of a group key, so it is cached. The cache is
+  // invalidated whenever the group key can change (Provision, TamperCode).
+  const crypto::Key256& PairwiseKey(uint64_t peer_id) const;
 
   uint64_t id_;
   std::string code_identity_;
@@ -125,6 +139,7 @@ class Enclave {
   uint64_t storage_seq_ = 0;
   uint64_t cleartext_tuples_ = 0;
   uint64_t cleartext_cells_ = 0;
+  mutable std::unordered_map<uint64_t, crypto::Key256> pairwise_cache_;
 };
 
 }  // namespace edgelet::tee

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/bytes.h"
@@ -296,6 +297,195 @@ TEST(ConstantTimeEqualsTest, Basic) {
   EXPECT_FALSE(ConstantTimeEquals(a, c, 4));
   EXPECT_TRUE(ConstantTimeEquals(a, c, 3));
   EXPECT_TRUE(ConstantTimeEquals(a, c, 0));
+}
+
+// --- SHA-256: additional NIST FIPS 180-4 vector ---------------------------
+
+TEST(Sha256Test, FourBlockMessage) {
+  EXPECT_EQ(DigestHex(Sha256::Hash(
+                "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmn"
+                "hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu")),
+            "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1");
+}
+
+TEST(Sha256Test, ChunkedUpdateAllSplitsMatchOneShot) {
+  Bytes msg(257, 0);
+  for (size_t i = 0; i < msg.size(); ++i) msg[i] = static_cast<uint8_t>(i);
+  Digest256 expected = Sha256::Hash(msg.data(), msg.size());
+  for (size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 h;
+    h.Update(msg.data(), split);
+    h.Update(msg.data() + split, msg.size() - split);
+    EXPECT_EQ(h.Finish(), expected) << "split at " << split;
+  }
+}
+
+// --- ChaCha20: §2.6.2 one-time key generation, in-place equivalence -------
+
+TEST(ChaCha20Test, Rfc8439Poly1305KeyGeneration) {
+  // RFC 8439 §2.6.2: the Poly1305 one-time key is the first 32 bytes of the
+  // ChaCha20 block at counter 0.
+  Key256 key;
+  for (int i = 0; i < 32; ++i) key[i] = static_cast<uint8_t>(0x80 + i);
+  Nonce96 nonce = {0x00, 0x00, 0x00, 0x00, 0x00, 0x01,
+                   0x02, 0x03, 0x04, 0x05, 0x06, 0x07};
+  auto block = ChaCha20Block(key, nonce, 0);
+  EXPECT_EQ(ToHex(block.data(), 32),
+            "8ad5a08b905f81cc815040274ab29471a833b637e3fd0da508dbb8e2fdd1a646");
+}
+
+TEST(ChaCha20Test, XorInPlaceMatchesXorAllLengths) {
+  // Covers every code path: empty, sub-block, exact block, the batched
+  // 4-block loop, the 8-block AVX2 loop (when present), and all tails.
+  Key256 key = TestKey();
+  Nonce96 nonce = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11};
+  Bytes msg(1300, 0);
+  for (size_t i = 0; i < msg.size(); ++i) {
+    msg[i] = static_cast<uint8_t>(i * 31 + 7);
+  }
+  for (size_t len = 0; len <= 300; ++len) {
+    Bytes expected = ChaCha20Xor(key, nonce, 1,
+                                 Bytes(msg.begin(), msg.begin() + len));
+    Bytes in_place(msg.begin(), msg.begin() + len);
+    ChaCha20XorInPlace(key, nonce, 1, in_place.data(), len);
+    EXPECT_EQ(in_place, expected) << "len " << len;
+  }
+  for (size_t len : {512u, 513u, 767u, 768u, 1024u, 1300u}) {
+    Bytes expected = ChaCha20Xor(key, nonce, 1,
+                                 Bytes(msg.begin(), msg.begin() + len));
+    Bytes in_place(msg.begin(), msg.begin() + len);
+    ChaCha20XorInPlace(key, nonce, 1, in_place.data(), len);
+    EXPECT_EQ(in_place, expected) << "len " << len;
+  }
+}
+
+TEST(ChaCha20Test, XorInPlaceUnalignedBuffer) {
+  Key256 key = TestKey();
+  Nonce96 nonce{};
+  Bytes msg(600, 0xAB);
+  Bytes expected = ChaCha20Xor(key, nonce, 3, msg);
+  // Operate at an odd offset inside a larger buffer so no alignment can be
+  // assumed by the kernel.
+  Bytes padded(601, 0xAB);
+  ChaCha20XorInPlace(key, nonce, 3, padded.data() + 1, 600);
+  EXPECT_EQ(Bytes(padded.begin() + 1, padded.end()), expected);
+}
+
+// --- Poly1305: incremental streaming --------------------------------------
+
+TEST(Poly1305Test, IncrementalAllSplitsMatchOneShot) {
+  std::array<uint8_t, 32> key;
+  for (int i = 0; i < 32; ++i) key[i] = static_cast<uint8_t>(i * 7 + 1);
+  Bytes msg(83, 0);
+  for (size_t i = 0; i < msg.size(); ++i) msg[i] = static_cast<uint8_t>(i);
+  Tag128 expected = Poly1305Mac(key, msg);
+  for (size_t split = 0; split <= msg.size(); ++split) {
+    Poly1305 mac(key);
+    mac.Update(msg.data(), split);
+    mac.Update(msg.data() + split, msg.size() - split);
+    EXPECT_EQ(mac.Finalize(), expected) << "split at " << split;
+  }
+}
+
+TEST(Poly1305Test, ByteAtATimeMatchesOneShot) {
+  std::array<uint8_t, 32> key;
+  for (int i = 0; i < 32; ++i) key[i] = static_cast<uint8_t>(255 - i);
+  Bytes msg(49, 0x3C);
+  Poly1305 mac(key);
+  for (uint8_t b : msg) mac.Update(&b, 1);
+  EXPECT_EQ(mac.Finalize(), Poly1305Mac(key, msg));
+}
+
+// --- AEAD: in-place variants, round trips, and bit-flip rejection ---------
+
+TEST(AeadTest, SealIntoMatchesSealWithScratchReuse) {
+  Key256 key = TestKey();
+  Bytes aad = BytesFromString("routing header");
+  Bytes scratch;  // deliberately reused across all iterations
+  for (size_t len : {0u, 1u, 16u, 100u, 1024u, 130u, 5u}) {
+    Nonce96 nonce = NonceFromSequence(9, len);
+    Bytes plaintext(len, static_cast<uint8_t>(len));
+    Bytes expected = AeadSeal(key, nonce, aad, plaintext);
+    AeadSealInto(key, nonce, aad.data(), aad.size(), plaintext.data(),
+                 plaintext.size(), &scratch);
+    EXPECT_EQ(scratch, expected) << "len " << len;
+  }
+}
+
+TEST(AeadTest, OpenIntoMatchesOpenWithScratchReuse) {
+  Key256 key = TestKey();
+  Bytes aad = BytesFromString("hdr");
+  Bytes scratch;
+  for (size_t len : {1024u, 0u, 64u, 3u}) {
+    Nonce96 nonce = NonceFromSequence(4, len);
+    Bytes plaintext(len, 0x77);
+    Bytes sealed = AeadSeal(key, nonce, aad, plaintext);
+    ASSERT_TRUE(AeadOpenInto(key, nonce, aad.data(), aad.size(),
+                             sealed.data(), sealed.size(), &scratch)
+                    .ok());
+    EXPECT_EQ(scratch, plaintext) << "len " << len;
+  }
+}
+
+TEST(AeadTest, RoundTripAllLengthsThroughTwoBlocks) {
+  Key256 key = TestKey();
+  Bytes aad = BytesFromString("aad");
+  for (size_t len = 0; len <= 130; ++len) {
+    Nonce96 nonce = NonceFromSequence(1, len);
+    Bytes plaintext(len, 0);
+    for (size_t i = 0; i < len; ++i) plaintext[i] = static_cast<uint8_t>(i);
+    Bytes sealed = AeadSeal(key, nonce, aad, plaintext);
+    ASSERT_EQ(sealed.size(), len + 16u);
+    auto opened = AeadOpen(key, nonce, aad, sealed);
+    ASSERT_TRUE(opened.ok()) << "len " << len;
+    EXPECT_EQ(*opened, plaintext) << "len " << len;
+  }
+}
+
+TEST(AeadTest, EverySingleBitFlipRejected) {
+  Key256 key = TestKey();
+  Nonce96 nonce = NonceFromSequence(2, 42);
+  Bytes aad = BytesFromString("route");
+  Bytes plaintext = BytesFromString("twenty-four byte secret!");
+  Bytes sealed = AeadSeal(key, nonce, aad, plaintext);
+
+  // Any flipped bit anywhere in ciphertext or tag must fail authentication.
+  for (size_t byte = 0; byte < sealed.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      Bytes corrupt = sealed;
+      corrupt[byte] ^= static_cast<uint8_t>(1 << bit);
+      EXPECT_FALSE(AeadOpen(key, nonce, aad, corrupt).ok())
+          << "byte " << byte << " bit " << bit;
+    }
+  }
+  // Same for every bit of the associated data.
+  for (size_t byte = 0; byte < aad.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      Bytes bad_aad = aad;
+      bad_aad[byte] ^= static_cast<uint8_t>(1 << bit);
+      EXPECT_FALSE(AeadOpen(key, nonce, bad_aad, sealed).ok())
+          << "aad byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+// --- NonceFromSequence: 64-bit channel ids --------------------------------
+
+TEST(AeadTest, NonceFromSequenceUsesHighChannelBits) {
+  // Regression: channel ids differing only above bit 32 used to truncate to
+  // the same nonce, silently reusing (key, nonce) pairs across channels.
+  uint64_t low = 1;
+  uint64_t high = 1 | (1ull << 32);
+  EXPECT_NE(NonceFromSequence(low, 7), NonceFromSequence(high, 7));
+}
+
+TEST(AeadTest, NonceFromSequenceLayoutPinned) {
+  // Channel ids below 2^32 keep their historical byte-exact nonce layout:
+  // LE32 channel, then LE64 sequence.
+  Nonce96 n = NonceFromSequence(0x11223344u, 0x5566778899aabbccull);
+  const uint8_t expected[12] = {0x44, 0x33, 0x22, 0x11, 0xcc, 0xbb,
+                                0xaa, 0x99, 0x88, 0x77, 0x66, 0x55};
+  EXPECT_TRUE(std::equal(n.begin(), n.end(), expected));
 }
 
 }  // namespace

@@ -65,6 +65,27 @@ TEST_F(DeviceTest, SealedMessagingEndToEnd) {
   EXPECT_EQ(StringFromBytes(received), "hello box");
 }
 
+TEST_F(DeviceTest, OpenPayloadIntoReusesScratch) {
+  Device a(&network_, &authority_, NoChurn(DeviceProfile::Pc()), "code");
+  Device b(&network_, &authority_, NoChurn(DeviceProfile::Pc()), "code");
+  ASSERT_TRUE(a.enclave().Provision().ok());
+  ASSERT_TRUE(b.enclave().Provision().ok());
+
+  Bytes scratch;  // one buffer across all deliveries
+  std::vector<std::string> received;
+  b.set_message_handler([&](const net::Message& msg) {
+    Status s = b.OpenPayloadInto(msg, &scratch);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    received.push_back(StringFromBytes(scratch));
+  });
+  ASSERT_TRUE(a.SendSealed(b.id(), 7, BytesFromString("first message")).ok());
+  ASSERT_TRUE(a.SendSealed(b.id(), 7, BytesFromString("2nd")).ok());
+  sim_.Run();
+  ASSERT_EQ(received.size(), 2u);
+  EXPECT_EQ(received[0], "first message");
+  EXPECT_EQ(received[1], "2nd");
+}
+
 TEST_F(DeviceTest, SealedPayloadIsCiphertextOnTheWire) {
   Device a(&network_, &authority_, NoChurn(DeviceProfile::Pc()), "code");
   Device b(&network_, &authority_, NoChurn(DeviceProfile::Pc()), "code");

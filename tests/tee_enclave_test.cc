@@ -104,6 +104,70 @@ TEST_F(EnclaveTest, ThirdEnclaveCannotDecryptPairTraffic) {
   EXPECT_FALSE(c.OpenFrom(1, 0, aad, *sealed).ok());
 }
 
+TEST_F(EnclaveTest, SealForIntoMatchesSealForByteExactly) {
+  Enclave a = MakeEnclave(1);
+  Enclave b = MakeEnclave(2);
+  ASSERT_TRUE(a.Provision().ok());
+  ASSERT_TRUE(b.Provision().ok());
+
+  Bytes aad = BytesFromString("hdr");
+  Bytes msg = BytesFromString("partial aggregate: sum=123, count=5");
+  auto sealed = a.SealFor(2, /*seq=*/3, aad, msg);
+  ASSERT_TRUE(sealed.ok());
+
+  // Scratch reused across both calls; contents must match the one-shot API.
+  Bytes scratch = BytesFromString("stale content from a previous message");
+  ASSERT_TRUE(
+      a.SealForInto(2, /*seq=*/3, aad.data(), aad.size(), msg, &scratch)
+          .ok());
+  EXPECT_EQ(scratch, *sealed);
+
+  Bytes opened = BytesFromString("also stale");
+  ASSERT_TRUE(
+      b.OpenFromInto(1, /*seq=*/3, aad.data(), aad.size(), scratch, &opened)
+          .ok());
+  EXPECT_EQ(opened, msg);
+}
+
+TEST_F(EnclaveTest, OpenFromIntoRejectsTampering) {
+  Enclave a = MakeEnclave(1);
+  Enclave b = MakeEnclave(2);
+  ASSERT_TRUE(a.Provision().ok());
+  ASSERT_TRUE(b.Provision().ok());
+
+  Bytes aad;
+  auto sealed = a.SealFor(2, 0, aad, BytesFromString("secret"));
+  ASSERT_TRUE(sealed.ok());
+  (*sealed)[0] ^= 1;
+  Bytes out;
+  EXPECT_FALSE(b.OpenFromInto(1, 0, nullptr, 0, *sealed, &out).ok());
+}
+
+TEST_F(EnclaveTest, PairwiseKeyCacheSurvivesReprovision) {
+  Enclave a = MakeEnclave(1);
+  Enclave b = MakeEnclave(2);
+  ASSERT_TRUE(a.Provision().ok());
+  ASSERT_TRUE(b.Provision().ok());
+
+  // Exercise the cached-key path many times in both directions.
+  Bytes aad;
+  for (uint64_t seq = 0; seq < 8; ++seq) {
+    auto sealed = a.SealFor(2, seq, aad, BytesFromString("ping"));
+    ASSERT_TRUE(sealed.ok());
+    auto opened = b.OpenFrom(1, seq, aad, *sealed);
+    ASSERT_TRUE(opened.ok());
+  }
+  // Tampering invalidates the cache along with provisioning; a fresh
+  // provision against genuine code restores working channels.
+  a.TamperCode("evil");
+  EXPECT_FALSE(a.SealFor(2, 99, aad, BytesFromString("x")).ok());
+  a.TamperCode("edgelet-query-v1");
+  ASSERT_TRUE(a.Provision().ok());
+  auto sealed = a.SealFor(2, 100, aad, BytesFromString("pong"));
+  ASSERT_TRUE(sealed.ok());
+  EXPECT_TRUE(b.OpenFrom(1, 100, aad, *sealed).ok());
+}
+
 TEST_F(EnclaveTest, UnprovisionedCannotUseChannels) {
   Enclave a = MakeEnclave(1);
   EXPECT_FALSE(a.SealFor(2, 0, {}, BytesFromString("x")).ok());
