@@ -1,15 +1,28 @@
 // Q2 — "Can any form of computation be handled?" / scalability (paper
 // §3.3). The demo claims scalability "demonstrated by the number of
-// simulated edgelets". Sweeps the crowd size at a fixed plan and reports
-// simulated completion time, message volume, and wall-clock cost of the
-// simulation itself. Expected shape: messages grow linearly with the crowd;
-// completion time stays roughly flat (collection parallelism); per-edgelet
-// load is constant.
+// simulated edgelets". Two phases:
+//
+//  1. Crowd sweep: fixed plan, growing crowd. Expected shape: messages grow
+//     linearly with the crowd; completion time stays roughly flat
+//     (collection parallelism); per-edgelet load is constant.
+//  2. Engine shard sweep: a --devices N (default 100 000) fleet under the
+//     paper's OppNet extreme — intermittent mostly-offline churn,
+//     store-and-forward mailboxes with a TTL — replayed on the serial
+//     engine and on the window-barrier parallel engine at each --shards
+//     count. Reports events/sec per shard count and asserts the delivery
+//     fingerprint is identical for every engine (the parsim determinism
+//     contract, at bench scale).
 //
 // Runs on the parallel trial harness (trial_runner.h); --trials N averages
-// N seeds per crowd size (trial 0 reproduces the original fixed-seed run).
+// N seeds per cell (trial 0 reproduces the original fixed-seed run).
+// Cross-trial parallelism (--jobs) composes with intra-trial parallelism
+// (--shards): each harness worker drives one simulation whose shards are
+// themselves worker threads.
+
+#include <cstring>
 
 #include "bench_util.h"
+#include "net/parsim/parallel_simulator.h"
 #include "trial_runner.h"
 
 using namespace edgelet;
@@ -64,9 +77,155 @@ TrialResult RunOne(size_t crowd, int trial) {
   return r;
 }
 
+// --- Phase 2: engine shard sweep (OppNet extreme) --------------------------
+
+// Churn/latency parameters of the opportunistic configuration. min_latency
+// doubles as the parallel engine's lookahead.
+constexpr SimDuration kOppMinLatency = 50 * kMillisecond;
+constexpr SimDuration kOppMeanExtra = 150 * kMillisecond;
+constexpr SimDuration kOppMeanOnline = 15 * kSecond;
+constexpr SimDuration kOppMeanOffline = 45 * kSecond;
+constexpr SimDuration kOppMailboxTtl = 30 * kSecond;
+constexpr SimDuration kOppBeaconPeriod = 5 * kSecond;
+constexpr SimDuration kOppHorizon = 60 * kSecond;
+constexpr int kOppBeacons = 12;  // per device over the horizon
+
+struct OppNetResult {
+  uint64_t events = 0;
+  int64_t wall_ms = 0;
+  uint64_t delivered = 0;
+  uint64_t expired = 0;
+  uint64_t fingerprint = 0;
+};
+
+// Every device runs a beacon loop on its own timeline: send a small message
+// to a ring neighbour every period, through churn, loss, and mailboxes.
+// All randomness comes from per-node streams, so the outcome is a pure
+// function of (seed, devices) — identical for every engine and shard count.
+struct OppNetWorkload {
+  net::SimEngine* engine = nullptr;
+  net::Network* net = nullptr;
+  size_t devices = 0;
+
+  struct Probe : net::Node {
+    void OnMessage(const net::Message& msg) override {
+      (void)msg;
+      ++delivered;
+    }
+    uint64_t delivered = 0;
+  };
+  std::vector<Probe> probes;
+
+  void Beacon(net::NodeId id, int remaining) {
+    net::Message m;
+    m.from = id;
+    m.to = id % devices + 1;  // ring neighbour, usually another shard
+    m.type = 1;
+    m.payload = net->AcquirePayloadBuffer();
+    m.payload.resize(16);
+    net->Send(std::move(m));
+    if (remaining > 1) {
+      engine->ScheduleAfter(id, kOppBeaconPeriod,
+                            [this, id, remaining]() {
+                              Beacon(id, remaining - 1);
+                            });
+    }
+  }
+};
+
+OppNetResult RunOppNet(size_t devices, size_t shards, int trial) {
+  const uint64_t seed = 97 + trial;
+  std::unique_ptr<net::SimEngine> engine;
+  if (shards > 1) {
+    net::parsim::ParallelSimulator::Options po;
+    po.num_shards = shards;
+    po.lookahead = kOppMinLatency;
+    engine = std::make_unique<net::parsim::ParallelSimulator>(seed, po);
+  } else {
+    engine = std::make_unique<net::Simulator>(seed);
+  }
+  engine->ReserveEvents(devices * 4);
+
+  net::NetworkConfig cfg;
+  cfg.latency.min_latency = kOppMinLatency;
+  cfg.latency.mean_extra = kOppMeanExtra;
+  cfg.drop_probability = 0.01;
+  cfg.store_and_forward = true;
+  cfg.mailbox_ttl = kOppMailboxTtl;
+  net::Network network(engine.get(), cfg);
+
+  OppNetWorkload w;
+  w.engine = engine.get();
+  w.net = &network;
+  w.devices = devices;
+  w.probes.resize(devices);
+  for (size_t i = 0; i < devices; ++i) {
+    network.Register(&w.probes[i], net::ChurnModel::Intermittent(
+                                       kOppMeanOnline, kOppMeanOffline));
+  }
+  // Stagger the beacon loops so the event queue is not one giant tie.
+  for (net::NodeId id = 1; id <= devices; ++id) {
+    engine->ScheduleAt(id, (id * 13) % kOppBeaconPeriod,
+                       [&w, id]() { w.Beacon(id, kOppBeacons); });
+  }
+
+  bench::WallTimer wall;
+  engine->RunUntil(kOppHorizon);  // churn reschedules forever: bound the run
+  OppNetResult r;
+  r.wall_ms = wall.ElapsedMs();
+  r.events = engine->events_executed();
+
+  net::NetworkStats stats = network.stats();
+  r.delivered = stats.messages_delivered;
+  r.expired = stats.expired_in_mailbox;
+  // FNV-1a over everything observable: per-device delivery counts plus the
+  // merged network stats. Equal across engines iff the simulations agree.
+  uint64_t fp = 1469598103934665603ULL;
+  auto mix = [&fp](uint64_t v) {
+    fp ^= v;
+    fp *= 1099511628211ULL;
+  };
+  for (const auto& p : w.probes) mix(p.delivered);
+  mix(stats.messages_sent);
+  mix(stats.messages_delivered);
+  mix(stats.dropped_random);
+  mix(stats.dropped_sender_offline);
+  mix(stats.expired_in_mailbox);
+  mix(stats.bytes_delivered);
+  r.fingerprint = fp;
+  return r;
+}
+
+// Strips the bench-specific --devices/--shards flags so the remainder can
+// go through the shared harness parser.
+void ParseShardFlags(int* argc, char** argv, size_t* devices,
+                     std::vector<size_t>* shard_counts) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--devices") == 0 && i + 1 < *argc) {
+      long v = std::strtol(argv[++i], nullptr, 10);
+      if (v >= 2) *devices = static_cast<size_t>(v);
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < *argc) {
+      shard_counts->clear();
+      for (char* tok = std::strtok(argv[++i], ","); tok != nullptr;
+           tok = std::strtok(nullptr, ",")) {
+        long v = std::strtol(tok, nullptr, 10);
+        if (v >= 1) shard_counts->push_back(static_cast<size_t>(v));
+      }
+      if (shard_counts->empty()) shard_counts->push_back(1);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  size_t devices = 100000;
+  std::vector<size_t> shard_counts = {1, 2, 4, 8};
+  ParseShardFlags(&argc, argv, &devices, &shard_counts);
   bench::HarnessOptions opt = bench::ParseHarnessOptions(
       argc, argv, "scalability", /*default_trials=*/1);
   bench::PrintHeader(
@@ -143,6 +302,65 @@ int main(int argc, char** argv) {
     std::printf("\nWARNING: %d trial(s) skipped (Init/Plan/Execute "
                 "failure).\n", skipped_total);
   }
+
+  // --- Phase 2: engine shard sweep -----------------------------------------
+  bench::PrintHeader(
+      "Engine shard sweep: " + std::to_string(devices) +
+          "-device OppNet fleet (intermittent churn, store-and-forward, "
+          "mailbox TTL)",
+      "Same workload on the serial engine (shards=1) and the window-barrier "
+      "parallel engine; identical fingerprints, events/sec per shard count.");
+
+  const int shard_cells = static_cast<int>(shard_counts.size());
+  std::vector<OppNetResult> opp = executor.Map(
+      shard_cells * per_cell, [&](int i) {
+        return RunOppNet(devices, shard_counts[i / per_cell], i % per_cell);
+      });
+
+  std::printf("%8s %12s %12s %10s %10s %12s  %s\n", "shards", "events",
+              "delivered", "expired", "wall(ms)", "events/sec", "fingerprint");
+  bench::PrintRule(86);
+  bool deterministic = true;
+  for (int s = 0; s < shard_cells; ++s) {
+    uint64_t sum_events = 0, sum_delivered = 0, sum_expired = 0;
+    int64_t sum_wall = 0;
+    for (int t = 0; t < per_cell; ++t) {
+      const OppNetResult& r = opp[s * per_cell + t];
+      sum_events += r.events;
+      sum_delivered += r.delivered;
+      sum_expired += r.expired;
+      sum_wall += r.wall_ms;
+      // Every engine must agree with the shards=1 run of the same trial.
+      if (r.fingerprint != opp[t].fingerprint) deterministic = false;
+    }
+    double wall_s = sum_wall / 1000.0 / per_cell;
+    double eps = wall_s > 0 ? sum_events / per_cell / wall_s : 0.0;
+    std::printf("%8zu %12llu %12llu %10llu %10lld %12.0f  %016llx\n",
+                shard_counts[s],
+                static_cast<unsigned long long>(sum_events / per_cell),
+                static_cast<unsigned long long>(sum_delivered / per_cell),
+                static_cast<unsigned long long>(sum_expired / per_cell),
+                static_cast<long long>(sum_wall / per_cell), eps,
+                static_cast<unsigned long long>(opp[s * per_cell].fingerprint));
+    json.AddRow(
+        {{"shards", bench::JsonNum(shard_counts[s])},
+         {"devices", bench::JsonNum(devices)},
+         {"mean_events", bench::JsonNum(sum_events / per_cell)},
+         {"mean_delivered", bench::JsonNum(sum_delivered / per_cell)},
+         {"mean_expired", bench::JsonNum(sum_expired / per_cell)},
+         {"mean_wall_ms", bench::JsonNum(sum_wall / per_cell)},
+         {"events_per_sec", bench::JsonNum(eps)},
+         {"fingerprint",
+          bench::JsonStr(std::to_string(opp[s * per_cell].fingerprint))}});
+  }
+  if (!deterministic) {
+    std::printf("\nERROR: engine fingerprints diverge across shard counts — "
+                "the parsim determinism contract is broken.\n");
+    json.Write(timer.ElapsedMs(), skipped_total);
+    return 1;
+  }
+  std::printf("\nAll engines agree (bit-identical delivery fingerprints).\n");
+
   json.Write(timer.ElapsedMs(), skipped_total);
   return 0;
 }

@@ -99,6 +99,43 @@ double Rng::NextExponential(double rate) {
   return -std::log(u) / rate;
 }
 
+NodeRng::NodeRng(uint64_t seed, uint64_t stream_id) {
+  // Two mixing rounds decorrelate (seed, stream_id) pairs: adjacent node
+  // ids under the same seed land at unrelated points of the state space.
+  uint64_t sm = seed;
+  uint64_t h = SplitMix64(&sm);
+  sm = h ^ (stream_id * 0xD1B54A32D192ED03ULL) ^ 0x8BB84B93962EACC9ULL;
+  state_ = SplitMix64(&sm);
+}
+
+uint64_t NodeRng::NextBelow(uint64_t bound) {
+  assert(bound > 0);
+  const uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    uint64_t r = NextU64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double NodeRng::NextDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+bool NodeRng::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double NodeRng::NextExponential(double rate) {
+  assert(rate > 0.0);
+  double u;
+  do {
+    u = NextDouble();
+  } while (u <= 0.0);
+  return -std::log(u) / rate;
+}
+
 Rng Rng::Fork(uint64_t tag) {
   uint64_t sm = state_[0] ^ Rotl(tag, 32) ^ 0xA0761D6478BD642FULL;
   return Rng(SplitMix64(&sm));

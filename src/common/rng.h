@@ -65,6 +65,42 @@ class Rng {
 // SplitMix64 step, exposed for seeding/hashing helpers.
 uint64_t SplitMix64(uint64_t* state);
 
+// Counter-based RNG stream: draw k of stream (seed, stream_id) is a pure
+// function Mix(seed, stream_id, k), so the values a stream produces depend
+// only on how many draws *it* has made — never on how draws from other
+// streams interleave with them. The parallel simulation engine gives every
+// simulated node its own stream keyed by node id, which is what makes
+// network latency/drop/churn sampling bit-identical for any shard count.
+//
+// Internally this is SplitMix64 over a per-stream base state, so draw k is
+// Mix(base + (k+1)*golden): jumping to an arbitrary draw index is O(1).
+class NodeRng {
+ public:
+  NodeRng() : NodeRng(0, 0) {}
+  NodeRng(uint64_t seed, uint64_t stream_id);
+
+  uint64_t NextU64() {
+    ++draws_;
+    return SplitMix64(&state_);
+  }
+
+  // Uniform in [0, bound) with rejection sampling. bound must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+  // Uniform double in [0, 1).
+  double NextDouble();
+  // Returns true with probability p (clamped to [0,1]).
+  bool NextBernoulli(double p);
+  // Exponential with the given rate (mean = 1/rate). rate must be > 0.
+  double NextExponential(double rate);
+
+  // Number of 64-bit words consumed so far (the stream's counter).
+  uint64_t draw_index() const { return draws_; }
+
+ private:
+  uint64_t state_ = 0;  // per-stream base + draw_index * golden ratio
+  uint64_t draws_ = 0;
+};
+
 }  // namespace edgelet
 
 #endif  // EDGELET_COMMON_RNG_H_

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <set>
 
+#include "common/logging.h"
+#include "net/parsim/parallel_simulator.h"
 #include "query/predicate.h"
 
 namespace edgelet::core {
@@ -17,7 +19,23 @@ Status EdgeletFramework::Init() {
   if (initialized_) return Status::FailedPrecondition("already initialized");
   Rng seeds(config_.seed);
 
-  sim_ = std::make_unique<net::Simulator>(seeds.Fork(1).NextU64());
+  const uint64_t sim_seed = seeds.Fork(1).NextU64();
+  if (config_.sim_shards > 1 && config_.network.latency.min_latency > 0) {
+    net::parsim::ParallelSimulator::Options options;
+    options.num_shards = config_.sim_shards;
+    // The minimum link latency is the engine's lookahead: no delivery can
+    // land inside the window that sent it.
+    options.lookahead = config_.network.latency.min_latency;
+    sim_ = std::make_unique<net::parsim::ParallelSimulator>(sim_seed,
+                                                            options);
+  } else {
+    if (config_.sim_shards > 1) {
+      EDGELET_LOG(kWarning)
+          << "sim_shards > 1 requires min_latency > 0 (the lookahead); "
+          << "falling back to the serial engine";
+    }
+    sim_ = std::make_unique<net::Simulator>(sim_seed);
+  }
   network_ = std::make_unique<net::Network>(sim_.get(), config_.network);
   authority_ =
       std::make_unique<tee::TrustAuthority>(seeds.Fork(2).NextU64());

@@ -17,6 +17,13 @@ struct FrameworkConfig {
   net::NetworkConfig network;
   data::HealthDataParams data;
   uint64_t seed = 1;
+  // Discrete-event engine shards. 1 = the serial Simulator; >1 = the
+  // window-barrier parsim::ParallelSimulator with that many worker
+  // threads, using the network's min_latency as the lookahead. Results
+  // are bit-identical for every value (see net/parsim/engine.h); a
+  // min_latency of 0 forces the serial engine since no positive lookahead
+  // exists.
+  size_t sim_shards = 1;
 
   FrameworkConfig() {
     // One individual per contributing device.
@@ -49,7 +56,7 @@ class EdgeletFramework {
   // before Plan/Execute.
   Status Init();
 
-  net::Simulator* sim() { return sim_.get(); }
+  net::SimEngine* sim() { return sim_.get(); }
   net::Network* network() { return network_.get(); }
   device::Fleet* fleet() { return fleet_.get(); }
   const data::Table& population() const { return population_; }
@@ -95,7 +102,7 @@ class EdgeletFramework {
 
  private:
   FrameworkConfig config_;
-  std::unique_ptr<net::Simulator> sim_;
+  std::unique_ptr<net::SimEngine> sim_;
   std::unique_ptr<net::Network> network_;
   std::unique_ptr<tee::TrustAuthority> authority_;
   std::unique_ptr<device::Fleet> fleet_;

@@ -79,8 +79,10 @@ FailurePlan PlanFailures(const std::vector<net::NodeId>& targets,
 
 void ScheduleFailures(net::Network* network, const FailurePlan& plan) {
   for (const auto& [id, when] : plan.kills) {
-    network->simulator()->ScheduleAt(
-        when, [network, id = id]() { network->Kill(id); });
+    // The kill runs on the victim's own timeline so that under a sharded
+    // engine only the owning shard mutates its state.
+    network->engine()->ScheduleAt(
+        id, when, [network, id = id]() { network->Kill(id); });
   }
 }
 

@@ -5,12 +5,12 @@
 
 namespace edgelet::exec {
 
-ContributorActor::ContributorActor(net::Simulator* sim, device::Device* dev,
+ContributorActor::ContributorActor(net::SimEngine* sim, device::Device* dev,
                                    Config config)
     : ActorBase(sim, dev), config_(std::move(config)) {}
 
 void ContributorActor::Start() {
-  sim()->ScheduleAt(config_.send_at, [this]() { Contribute(); });
+  sim()->ScheduleAt(dev()->id(), config_.send_at, [this]() { Contribute(); });
 }
 
 void ContributorActor::Contribute() {

@@ -14,7 +14,7 @@ namespace edgelet::exec {
 // One protocol role bound to one device for the duration of a query.
 class ActorBase {
  public:
-  ActorBase(net::Simulator* sim, device::Device* dev) : sim_(sim), dev_(dev) {
+  ActorBase(net::SimEngine* sim, device::Device* dev) : sim_(sim), dev_(dev) {
     dev_->set_message_handler(
         [this](const net::Message& msg) { HandleMessage(msg); });
   }
@@ -24,7 +24,7 @@ class ActorBase {
   ActorBase& operator=(const ActorBase&) = delete;
 
   device::Device* dev() const { return dev_; }
-  net::Simulator* sim() const { return sim_; }
+  net::SimEngine* sim() const { return sim_; }
 
  protected:
   virtual void HandleMessage(const net::Message& msg) = 0;
@@ -51,7 +51,7 @@ class ActorBase {
   const Bytes& opened_payload() const { return open_scratch_; }
 
  private:
-  net::Simulator* sim_;
+  net::SimEngine* sim_;
   device::Device* dev_;
   Bytes open_scratch_;
 };
@@ -75,7 +75,7 @@ class ContributorActor : public ActorBase {
     ExecutionTrace* trace = nullptr;  // optional step-by-step recording
   };
 
-  ContributorActor(net::Simulator* sim, device::Device* dev, Config config);
+  ContributorActor(net::SimEngine* sim, device::Device* dev, Config config);
 
   void Start();
 
@@ -95,7 +95,7 @@ class ContributorActor : public ActorBase {
 // deliver duplicates).
 class QuerierActor : public ActorBase {
  public:
-  QuerierActor(net::Simulator* sim, device::Device* dev, uint64_t query_id,
+  QuerierActor(net::SimEngine* sim, device::Device* dev, uint64_t query_id,
                ExecutionTrace* trace = nullptr)
       : ActorBase(sim, dev), query_id_(query_id), trace_(trace) {}
 

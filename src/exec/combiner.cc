@@ -5,7 +5,7 @@
 
 namespace edgelet::exec {
 
-CombinerActor::CombinerActor(net::Simulator* sim, device::Device* dev,
+CombinerActor::CombinerActor(net::SimEngine* sim, device::Device* dev,
                              Config config)
     : ActorBase(sim, dev), config_(std::move(config)) {
   replica_ = std::make_unique<ReplicaRole>(sim, dev, config_.replica);
@@ -15,7 +15,7 @@ CombinerActor::CombinerActor(net::Simulator* sim, device::Device* dev,
 void CombinerActor::Start() {
   replica_->Start();
   if (config_.emit_at != kSimTimeNever) {
-    sim()->ScheduleAt(config_.emit_at, [this]() { OnEmitTimer(); });
+    sim()->ScheduleAt(dev()->id(), config_.emit_at, [this]() { OnEmitTimer(); });
   }
 }
 
@@ -70,7 +70,7 @@ void CombinerActor::MaybeCombineGs() {
   combining_ = true;
   // Merging n partitions' partials costs time proportional to their group
   // count; approximate with one quota's worth of work.
-  sim()->ScheduleAfter(dev()->ComputeCost(complete_order_.size() * 16),
+  sim()->ScheduleAfter(dev()->id(), dev()->ComputeCost(complete_order_.size() * 16),
                        [this]() { CombineAndEmitGs(); });
 }
 
@@ -193,7 +193,7 @@ void CombinerActor::CombineAndEmitKm() {
 void CombinerActor::EmitWithResends() {
   SendResult(pending_result_);
   for (int i = 1; i <= config_.result_resends; ++i) {
-    sim()->ScheduleAfter(
+    sim()->ScheduleAfter(dev()->id(), 
         static_cast<SimDuration>(i) * config_.resend_interval, [this]() {
           if (result_ready_) SendResult(pending_result_);
         });

@@ -51,7 +51,7 @@ class CombinerActor : public ActorBase {
     ExecutionTrace* trace = nullptr;
   };
 
-  CombinerActor(net::Simulator* sim, device::Device* dev, Config config);
+  CombinerActor(net::SimEngine* sim, device::Device* dev, Config config);
 
   void Start();
 

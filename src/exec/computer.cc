@@ -6,7 +6,7 @@
 
 namespace edgelet::exec {
 
-ComputerActor::ComputerActor(net::Simulator* sim, device::Device* dev,
+ComputerActor::ComputerActor(net::SimEngine* sim, device::Device* dev,
                              Config config)
     : ActorBase(sim, dev),
       config_(std::move(config)),
@@ -35,7 +35,7 @@ void ComputerActor::Start() {
     for (int round = 0; round < config_.num_heartbeats; ++round) {
       SimTime at = config_.first_heartbeat +
                    static_cast<SimDuration>(round) * config_.heartbeat_period;
-      sim()->ScheduleAt(at, [this, round]() { Heartbeat(round); });
+      sim()->ScheduleAt(dev()->id(), at, [this, round]() { Heartbeat(round); });
     }
   }
 }
@@ -83,7 +83,7 @@ void ComputerActor::OnSlice(const net::Message& msg) {
   dev()->enclave().RecordClearTextTuples(slice_.num_rows(),
                                          slice_.schema().num_columns());
   if (config_.mode == Mode::kGroupingSets) {
-    sim()->ScheduleAfter(dev()->ComputeCost(slice_.num_rows()),
+    sim()->ScheduleAfter(dev()->id(), dev()->ComputeCost(slice_.num_rows()),
                          [this]() { ComputeAndEmitGs(); });
   } else {
     auto points = ml::ExtractPoints(slice_, config_.km_spec.features);
@@ -113,7 +113,7 @@ void ComputerActor::ComputeAndEmitGs() {
 void ComputerActor::EmitGsWithResends() {
   EmitGs();
   for (int i = 1; i <= config_.emission_resends; ++i) {
-    sim()->ScheduleAfter(
+    sim()->ScheduleAfter(dev()->id(), 
         static_cast<SimDuration>(i) * config_.resend_interval,
         [this]() { EmitGs(); });
   }
@@ -149,7 +149,7 @@ void ComputerActor::Heartbeat(int round) {
   if (round == config_.num_heartbeats - 1) {
     // Right before the deadline: report knowledge to the combiner.
     if (!points_.empty() && km_initialized_ && replica_->is_leader()) {
-      sim()->ScheduleAfter(dev()->ComputeCost(points_.size()),
+      sim()->ScheduleAfter(dev()->id(), dev()->ComputeCost(points_.size()),
                            [this]() { EmitKmFinal(); });
     }
   }
@@ -272,7 +272,7 @@ void ComputerActor::EmitKmFinal() {
   SealAndSendAll(config_.combiners, kKmFinal, msg.Encode());
   for (int i = 1; i <= config_.emission_resends; ++i) {
     Bytes payload = msg.Encode();
-    sim()->ScheduleAfter(
+    sim()->ScheduleAfter(dev()->id(), 
         static_cast<SimDuration>(i) * config_.resend_interval,
         [this, payload]() {
           SealAndSendAll(config_.combiners, kKmFinal, payload);

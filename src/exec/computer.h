@@ -57,7 +57,7 @@ class ComputerActor : public ActorBase {
     SimDuration resend_interval = 15 * kSecond;
   };
 
-  ComputerActor(net::Simulator* sim, device::Device* dev, Config config);
+  ComputerActor(net::SimEngine* sim, device::Device* dev, Config config);
 
   void Start();
 

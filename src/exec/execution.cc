@@ -48,7 +48,7 @@ uint64_t ReportFingerprint(const ExecutionReport& report) {
   return Fnv1a64(w.data().data(), w.size());
 }
 
-QueryExecution::QueryExecution(net::Simulator* sim, net::Network* network,
+QueryExecution::QueryExecution(net::SimEngine* sim, net::Network* network,
                                device::Fleet* fleet, Deployment deployment,
                                ExecutionConfig config)
     : sim_(sim),
@@ -63,7 +63,7 @@ Status QueryExecution::Start() {
   if (started_) return Status::FailedPrecondition("already started");
   started_ = true;
   base_ = sim_->now();
-  if (config_.enable_trace) trace_ = std::make_unique<ExecutionTrace>();
+  if (config_.enable_trace) trace_ = std::make_unique<ExecutionTrace>(sim_);
   stats_before_ = network_->stats();
   // Every contributor schedules a contribution plus churn/resend events;
   // pre-size the event queue so the collection burst doesn't regrow it.
@@ -312,7 +312,7 @@ void QueryExecution::CollectReport() {
     if (c->contributed()) ++report_.contributors_participating;
   }
 
-  const net::NetworkStats& now = network_->stats();
+  const net::NetworkStats now = network_->stats();
   report_.messages_sent = now.messages_sent - stats_before_.messages_sent;
   report_.messages_delivered =
       now.messages_delivered - stats_before_.messages_delivered;

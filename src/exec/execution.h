@@ -128,7 +128,7 @@ struct ExecutionReport {
 // Runs one planned query over the fleet on the discrete-event simulator.
 class QueryExecution {
  public:
-  QueryExecution(net::Simulator* sim, net::Network* network,
+  QueryExecution(net::SimEngine* sim, net::Network* network,
                  device::Fleet* fleet, Deployment deployment,
                  ExecutionConfig config);
   ~QueryExecution();
@@ -153,7 +153,7 @@ class QueryExecution {
   void InjectFailures();
   void CollectReport();
 
-  net::Simulator* sim_;
+  net::SimEngine* sim_;
   net::Network* network_;
   device::Fleet* fleet_;
   Deployment deployment_;

@@ -4,7 +4,7 @@
 
 namespace edgelet::exec {
 
-ReplicaRole::ReplicaRole(net::Simulator* sim, device::Device* dev,
+ReplicaRole::ReplicaRole(net::SimEngine* sim, device::Device* dev,
                          Config config)
     : sim_(sim), dev_(dev), config_(std::move(config)) {
   auto it = std::find(config_.members.begin(), config_.members.end(),
@@ -27,7 +27,7 @@ void ReplicaRole::Tick() {
     // Disconnected: cannot observe pings reliably or act; check again
     // later without promoting (the mailbox will replay missed pings).
     last_lower_ping_ = sim_->now();
-    sim_->ScheduleAfter(config_.ping_period, [this]() { Tick(); });
+    sim_->ScheduleAfter(dev_->id(), config_.ping_period, [this]() { Tick(); });
     return;
   }
   if (believes_leader_) {
@@ -51,7 +51,7 @@ void ReplicaRole::Tick() {
       // Fall through: next ticks will ping as leader.
     }
   }
-  sim_->ScheduleAfter(config_.ping_period, [this]() { Tick(); });
+  sim_->ScheduleAfter(dev_->id(), config_.ping_period, [this]() { Tick(); });
 }
 
 void ReplicaRole::HandlePing(const LeaderPingMsg& ping) {

@@ -32,7 +32,7 @@ class ReplicaRole {
     SimTime stop_at = kSimTimeNever;
   };
 
-  ReplicaRole(net::Simulator* sim, device::Device* dev, Config config);
+  ReplicaRole(net::SimEngine* sim, device::Device* dev, Config config);
 
   void Start();
 
@@ -50,7 +50,7 @@ class ReplicaRole {
  private:
   void Tick();
 
-  net::Simulator* sim_;
+  net::SimEngine* sim_;
   device::Device* dev_;
   Config config_;
   uint32_t rank_ = 0;

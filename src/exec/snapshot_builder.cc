@@ -4,7 +4,7 @@
 
 namespace edgelet::exec {
 
-SnapshotBuilderActor::SnapshotBuilderActor(net::Simulator* sim,
+SnapshotBuilderActor::SnapshotBuilderActor(net::SimEngine* sim,
                                            device::Device* dev, Config config)
     : ActorBase(sim, dev), config_(std::move(config)) {
   replica_ = std::make_unique<ReplicaRole>(sim, dev, config_.replica);
@@ -82,7 +82,7 @@ void SnapshotBuilderActor::MaybeEmit() {
   if (replica_->is_leader()) {
     // Building the representative snapshot costs compute time on this
     // device class before the slice goes out.
-    sim()->ScheduleAfter(dev()->ComputeCost(buffer_.num_rows()),
+    sim()->ScheduleAfter(dev()->id(), dev()->ComputeCost(buffer_.num_rows()),
                          [this]() { EmitSliceWithResends(); });
   }
 }
@@ -90,7 +90,7 @@ void SnapshotBuilderActor::MaybeEmit() {
 void SnapshotBuilderActor::EmitSliceWithResends() {
   EmitSlice();
   for (int i = 1; i <= config_.emission_resends; ++i) {
-    sim()->ScheduleAfter(
+    sim()->ScheduleAfter(dev()->id(), 
         static_cast<SimDuration>(i) * config_.resend_interval,
         [this]() { EmitSlice(); });
   }

@@ -35,7 +35,7 @@ class SnapshotBuilderActor : public ActorBase {
     SimDuration resend_interval = 15 * kSecond;
   };
 
-  SnapshotBuilderActor(net::Simulator* sim, device::Device* dev,
+  SnapshotBuilderActor(net::SimEngine* sim, device::Device* dev,
                        Config config);
 
   void Start();

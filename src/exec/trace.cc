@@ -31,16 +31,39 @@ std::string_view TraceEventKindName(TraceEventKind kind) {
   return "?";
 }
 
+ExecutionTrace::ExecutionTrace(const net::SimEngine* engine)
+    : engine_(engine), buffers_(engine != nullptr ? engine->num_shards() : 1) {}
+
 void ExecutionTrace::Record(SimTime time, TraceEventKind kind,
                             net::NodeId device, int partition, int vgroup,
                             std::string detail) {
-  events_.push_back(
+  size_t shard = engine_ != nullptr ? engine_->current_shard() : 0;
+  buffers_[shard].events.push_back(
       {time, kind, device, partition, vgroup, std::move(detail)});
 }
 
+const std::vector<TraceEvent>& ExecutionTrace::events() const {
+  size_t total = 0;
+  for (const ShardBuffer& b : buffers_) total += b.events.size();
+  if (merged_.size() != total) {
+    merged_.clear();
+    merged_.reserve(total);
+    for (const ShardBuffer& b : buffers_) {
+      merged_.insert(merged_.end(), b.events.begin(), b.events.end());
+    }
+    std::stable_sort(merged_.begin(), merged_.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                       if (a.time != b.time) return a.time < b.time;
+                       return a.device < b.device;
+                     });
+  }
+  return merged_;
+}
+
 size_t ExecutionTrace::CountOf(TraceEventKind kind) const {
+  const auto& all = events();
   return static_cast<size_t>(
-      std::count_if(events_.begin(), events_.end(),
+      std::count_if(all.begin(), all.end(),
                     [kind](const TraceEvent& e) { return e.kind == kind; }));
 }
 
@@ -51,7 +74,7 @@ std::string ExecutionTrace::ToTimeline(size_t max_events) const {
   size_t shown = 0;
   bool contributions_summarized = false;
   bool broadcasts_summarized = false;
-  for (const auto& e : events_) {
+  for (const auto& e : events()) {
     // Bulk event classes are summarized once instead of flooding the
     // timeline.
     if (e.kind == TraceEventKind::kContributionSent && contributions > 8) {
@@ -72,7 +95,7 @@ std::string ExecutionTrace::ToTimeline(size_t max_events) const {
       continue;
     }
     if (shown >= max_events) {
-      out << "... (" << events_.size() - shown << " more events)\n";
+      out << "... (" << events().size() - shown << " more events)\n";
       break;
     }
     out << "[" << FormatSimTime(e.time) << "] "
@@ -107,7 +130,7 @@ std::string ExecutionTrace::PhaseSummary() const {
   for (const auto& phase : phases) {
     SimTime first = kSimTimeNever, last = 0;
     size_t count = 0;
-    for (const auto& e : events_) {
+    for (const auto& e : events()) {
       if (e.kind != phase.kind) continue;
       first = std::min(first, e.time);
       last = std::max(last, e.time);

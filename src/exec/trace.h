@@ -7,6 +7,7 @@
 
 #include "common/sim_time.h"
 #include "net/message.h"
+#include "net/parsim/engine.h"
 
 namespace edgelet::exec {
 
@@ -39,14 +40,26 @@ struct TraceEvent {
   std::string detail;
 };
 
+// Recording is shard-local: each engine shard appends to its own buffer
+// (actors record from their device's event context, so a device's events
+// always land in one buffer, in its execution order). events() merges the
+// buffers into (time, device) order — a deterministic ordering because
+// per-device event order is engine-invariant and the stable sort keeps it
+// within ties. A trace recorded serially and one recorded across N shards
+// therefore render identical timelines.
 class ExecutionTrace {
  public:
-  ExecutionTrace() = default;
+  // Serial recording (one buffer).
+  ExecutionTrace() : ExecutionTrace(nullptr) {}
+  // Shard-aware recording: one buffer per engine shard.
+  explicit ExecutionTrace(const net::SimEngine* engine);
 
   void Record(SimTime time, TraceEventKind kind, net::NodeId device,
               int partition = -1, int vgroup = -1, std::string detail = "");
 
-  const std::vector<TraceEvent>& events() const { return events_; }
+  // Merged, deterministically ordered view. Call between runs only (the
+  // merge reads every shard buffer).
+  const std::vector<TraceEvent>& events() const;
   size_t CountOf(TraceEventKind kind) const;
 
   // Human-readable timeline; bulk contribution events are summarized.
@@ -56,7 +69,14 @@ class ExecutionTrace {
   std::string PhaseSummary() const;
 
  private:
-  std::vector<TraceEvent> events_;
+  struct alignas(64) ShardBuffer {
+    std::vector<TraceEvent> events;
+  };
+
+  const net::SimEngine* engine_ = nullptr;
+  std::vector<ShardBuffer> buffers_;
+  // Merge cache; rebuilt when the buffer sizes no longer add up to it.
+  mutable std::vector<TraceEvent> merged_;
 };
 
 }  // namespace edgelet::exec

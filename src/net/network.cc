@@ -4,7 +4,7 @@
 
 namespace edgelet::net {
 
-SimDuration LatencyModel::Sample(Rng& rng) const {
+SimDuration LatencyModel::Sample(NodeRng& rng) const {
   SimDuration extra = 0;
   if (mean_extra > 0) {
     double rate = 1.0 / static_cast<double>(mean_extra);
@@ -13,8 +13,8 @@ SimDuration LatencyModel::Sample(Rng& rng) const {
   return min_latency + extra;
 }
 
-Network::Network(Simulator* sim, NetworkConfig config)
-    : sim_(sim), config_(config) {}
+Network::Network(SimEngine* engine, NetworkConfig config)
+    : engine_(engine), config_(config), shard_(engine->num_shards()) {}
 
 NodeId Network::Register(Node* node, ChurnModel churn) {
   NodeId id = next_id_++;
@@ -22,6 +22,10 @@ NodeId Network::Register(Node* node, ChurnModel churn) {
   state.node = node;
   state.churn = churn;
   state.online = churn.starts_online;
+  // The node's stream is a pure function of (engine seed, node id), so a
+  // node draws the same sequence no matter which shard runs it — or
+  // whether any sharding exists at all.
+  state.rng = NodeRng(engine_->seed(), id);
   nodes_.emplace(id, std::move(state));
   if (churn.mean_online > 0 && churn.mean_offline > 0) {
     ScheduleChurnTransition(id);
@@ -38,8 +42,10 @@ void Network::ScheduleChurnTransition(NodeId id) {
   if (mean == 0) return;
   double rate = 1.0 / static_cast<double>(mean);
   SimDuration dwell =
-      static_cast<SimDuration>(sim_->rng().NextExponential(rate));
-  sim_->ScheduleAfter(dwell, [this, id]() {
+      static_cast<SimDuration>(it->second.rng.NextExponential(rate));
+  // Churn is a self-transition: the event belongs to the churning node, so
+  // it is exempt from the lookahead bound and runs on the node's shard.
+  engine_->ScheduleAfter(id, dwell, [this, id]() {
     auto it2 = nodes_.find(id);
     if (it2 == nodes_.end() || it2->second.dead) return;
     SetOnline(id, !it2->second.online);
@@ -48,59 +54,63 @@ void Network::ScheduleChurnTransition(NodeId id) {
 }
 
 void Network::Send(Message msg) {
-  ++stats_.messages_sent;
-  stats_.bytes_sent += msg.WireSize();
+  NetworkStats& stats = stats_here();
+  ++stats.messages_sent;
+  stats.bytes_sent += msg.WireSize();
 
   auto from_it = nodes_.find(msg.from);
   if (from_it == nodes_.end() || from_it->second.dead ||
       !from_it->second.online) {
-    ++stats_.dropped_sender_offline;
+    ++stats.dropped_sender_offline;
     Recycle(std::move(msg));
     return;
   }
-  auto to_it = nodes_.find(msg.to);
-  if (to_it == nodes_.end() || to_it->second.dead) {
-    ++stats_.dropped_dead;
-    Recycle(std::move(msg));
-    return;
-  }
+  // Loss and latency are the sender's draws: Send runs in the sender's
+  // event context, so only the sender's shard touches this stream. The
+  // receiver's liveness is checked at delivery time, on its own shard.
+  NodeRng& rng = from_it->second.rng;
   if (config_.drop_probability > 0 &&
-      sim_->rng().NextBernoulli(config_.drop_probability)) {
-    ++stats_.dropped_random;
+      rng.NextBernoulli(config_.drop_probability)) {
+    ++stats.dropped_random;
     Recycle(std::move(msg));
     return;
   }
-  SimDuration latency = config_.latency.Sample(sim_->rng());
+  SimDuration latency = config_.latency.Sample(rng);
   if (config_.bytes_per_second > 0) {
     // Serialization delay: payload bytes over the link throughput.
     double seconds = static_cast<double>(msg.WireSize()) /
                      static_cast<double>(config_.bytes_per_second);
     latency += FromSeconds(seconds);
   }
-  sim_->ScheduleAfter(latency, [this, msg = std::move(msg)]() mutable {
-    Deliver(std::move(msg));
-  });
+  // Delivery executes on the receiver's timeline; latency >= min_latency
+  // keeps it outside the current lookahead window.
+  NodeId to = msg.to;
+  engine_->ScheduleAfter(to, latency,
+                         [this, msg = std::move(msg)]() mutable {
+                           Deliver(std::move(msg));
+                         });
 }
 
 void Network::Deliver(Message msg) {
   auto it = nodes_.find(msg.to);
   if (it == nodes_.end() || it->second.dead) {
-    ++stats_.dropped_dead;
+    ++stats_here().dropped_dead;
     Recycle(std::move(msg));
     return;
   }
   NodeState& state = it->second;
   if (!state.online) {
     if (config_.store_and_forward) {
-      state.mailbox.emplace_back(sim_->now(), std::move(msg));
+      state.mailbox.emplace_back(engine_->now(), std::move(msg));
     } else {
-      ++stats_.dropped_receiver_offline;
+      ++stats_here().dropped_receiver_offline;
       Recycle(std::move(msg));
     }
     return;
   }
-  ++stats_.messages_delivered;
-  stats_.bytes_delivered += msg.WireSize();
+  NetworkStats& stats = stats_here();
+  ++stats.messages_delivered;
+  stats.bytes_delivered += msg.WireSize();
   state.node->OnMessage(msg);
   // OnMessage receives the message by const reference; once it returns the
   // message is consumed and its payload buffer can cycle back to the pool.
@@ -142,8 +152,8 @@ void Network::FlushMailbox(NodeId id) {
   pending.swap(state.mailbox);
   for (auto& [enqueued, msg] : pending) {
     if (config_.mailbox_ttl > 0 &&
-        sim_->now() - enqueued > config_.mailbox_ttl) {
-      ++stats_.expired_in_mailbox;
+        engine_->now() - enqueued > config_.mailbox_ttl) {
+      ++stats_here().expired_in_mailbox;
       Recycle(std::move(msg));
       continue;
     }
@@ -151,7 +161,7 @@ void Network::FlushMailbox(NodeId id) {
     // pushed it offline again.
     auto it2 = nodes_.find(id);
     if (it2 == nodes_.end() || it2->second.dead) {
-      ++stats_.dropped_dead;
+      ++stats_here().dropped_dead;
       Recycle(std::move(msg));
       continue;
     }
@@ -159,26 +169,46 @@ void Network::FlushMailbox(NodeId id) {
       it2->second.mailbox.emplace_back(enqueued, std::move(msg));
       continue;
     }
-    ++stats_.messages_delivered;
-    stats_.bytes_delivered += msg.WireSize();
+    NetworkStats& stats = stats_here();
+    ++stats.messages_delivered;
+    stats.bytes_delivered += msg.WireSize();
     it2->second.node->OnMessage(msg);
     Recycle(std::move(msg));
   }
 }
 
+NetworkStats Network::stats() const {
+  NetworkStats total;
+  for (const ShardState& s : shard_) {
+    total.messages_sent += s.stats.messages_sent;
+    total.messages_delivered += s.stats.messages_delivered;
+    total.dropped_random += s.stats.dropped_random;
+    total.dropped_sender_offline += s.stats.dropped_sender_offline;
+    total.dropped_receiver_offline += s.stats.dropped_receiver_offline;
+    total.dropped_dead += s.stats.dropped_dead;
+    total.expired_in_mailbox += s.stats.expired_in_mailbox;
+    total.bytes_sent += s.stats.bytes_sent;
+    total.bytes_delivered += s.stats.bytes_delivered;
+    total.payload_buffers_reused += s.stats.payload_buffers_reused;
+  }
+  return total;
+}
+
 Bytes Network::AcquirePayloadBuffer() {
-  if (payload_pool_.empty()) return Bytes();
-  Bytes buf = std::move(payload_pool_.back());
-  payload_pool_.pop_back();
+  ShardState& here = shard_[engine_->current_shard()];
+  if (here.payload_pool.empty()) return Bytes();
+  Bytes buf = std::move(here.payload_pool.back());
+  here.payload_pool.pop_back();
   buf.clear();  // keeps capacity
-  ++stats_.payload_buffers_reused;
+  ++here.stats.payload_buffers_reused;
   return buf;
 }
 
 void Network::RecyclePayloadBuffer(Bytes&& buf) {
   if (buf.capacity() == 0) return;
-  if (payload_pool_.size() >= kMaxPooledBuffers) return;
-  payload_pool_.push_back(std::move(buf));
+  ShardState& here = shard_[engine_->current_shard()];
+  if (here.payload_pool.size() >= kMaxPooledBuffers) return;
+  here.payload_pool.push_back(std::move(buf));
 }
 
 bool Network::IsOnline(NodeId id) const {

@@ -12,13 +12,15 @@ namespace edgelet::net {
 
 // Latency model: fixed floor plus an exponential tail, which matches
 // uncertain edge communications far better than a Gaussian (long right
-// tail, never negative).
+// tail, never negative). min_latency doubles as the parallel engine's
+// lookahead: no delivery lands sooner, so a window of that width never
+// sees a cross-shard event materialize inside itself.
 struct LatencyModel {
   SimDuration min_latency = 20 * kMillisecond;
   // Mean of the exponential component added on top of min_latency.
   SimDuration mean_extra = 80 * kMillisecond;
 
-  SimDuration Sample(Rng& rng) const;
+  SimDuration Sample(NodeRng& rng) const;
 };
 
 // Per-node availability pattern. kAlwaysOn models a plugged-in PC;
@@ -71,9 +73,18 @@ struct NetworkStats {
 // Simulated communication fabric between edgelets. Delivery is
 // point-to-point with sampled latency, random loss, churn-awareness, and
 // optional store-and-forward for opportunistic delivery.
+//
+// Engine independence: every random draw (latency, loss, churn dwell)
+// comes from the drawing node's own counter-based stream (NodeRng), and
+// every mutation of a node's state happens inside that node's event
+// callbacks — deliveries run on the receiver's timeline, churn and death
+// on the affected node's. Under the parallel engine each shard therefore
+// only writes its own nodes' state, and the same simulation produces
+// bit-identical results for any shard count. The only genuinely shared
+// counters — stats and the payload pool — are sharded and merged on read.
 class Network {
  public:
-  Network(Simulator* sim, NetworkConfig config);
+  Network(SimEngine* engine, NetworkConfig config);
 
   // Registers a node and returns its id (ids start at 1).
   NodeId Register(Node* node, ChurnModel churn = ChurnModel::AlwaysOn());
@@ -82,16 +93,20 @@ class Network {
   void Send(Message msg);
 
   // Permanently removes a node from the network (device failure / power
-  // off). Pending deliveries to it are dropped.
+  // off). Pending deliveries to it are dropped. During a run this must
+  // execute on the victim's own timeline (schedule it with owner = id, as
+  // device::ScheduleFailures does).
   void Kill(NodeId id);
   bool IsDead(NodeId id) const;
 
-  // Forced availability control (demo-style "power off this box").
+  // Forced availability control (demo-style "power off this box"). Same
+  // ownership rule as Kill when called mid-run.
   void SetOnline(NodeId id, bool online);
   bool IsOnline(NodeId id) const;
 
-  const NetworkStats& stats() const { return stats_; }
-  Simulator* simulator() { return sim_; }
+  // Totals across shards. Call between runs (shard buffers are quiescent).
+  NetworkStats stats() const;
+  SimEngine* engine() { return engine_; }
   size_t num_nodes() const { return nodes_.size(); }
 
   // --- Payload buffer pool ----------------------------------------------
@@ -100,6 +115,7 @@ class Network {
   // the pool once the message is consumed (delivered, dropped, or expired).
   // In steady state no per-message heap allocation happens. Buffers keep
   // their capacity; the pool is bounded so bursts do not pin memory.
+  // Pools are per shard: a buffer freed on a shard is reused by it.
   Bytes AcquirePayloadBuffer();
   void RecyclePayloadBuffer(Bytes&& buf);
 
@@ -109,8 +125,17 @@ class Network {
     bool online = true;
     bool dead = false;
     ChurnModel churn;
+    // This node's private random stream: its churn dwells plus the
+    // latency/loss draws for messages it sends.
+    NodeRng rng;
     // (enqueue time, message) waiting for the node to come back online.
     std::vector<std::pair<SimTime, Message>> mailbox;
+  };
+  // Shard-local mutable counters, cache-line separated so workers do not
+  // false-share.
+  struct alignas(64) ShardState {
+    NetworkStats stats;
+    std::vector<Bytes> payload_pool;
   };
 
   void Deliver(Message msg);
@@ -118,15 +143,15 @@ class Network {
   void FlushMailbox(NodeId id);
   // A consumed message's payload goes back to the pool.
   void Recycle(Message&& msg) { RecyclePayloadBuffer(std::move(msg.payload)); }
+  NetworkStats& stats_here() { return shard_[engine_->current_shard()].stats; }
 
   static constexpr size_t kMaxPooledBuffers = 1024;
 
-  Simulator* sim_;
+  SimEngine* engine_;
   NetworkConfig config_;
   std::unordered_map<NodeId, NodeState> nodes_;
   NodeId next_id_ = 1;
-  NetworkStats stats_;
-  std::vector<Bytes> payload_pool_;
+  std::vector<ShardState> shard_;
 };
 
 }  // namespace edgelet::net

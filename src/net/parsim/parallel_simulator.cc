@@ -1,0 +1,254 @@
+#include "net/parsim/parallel_simulator.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace edgelet::net::parsim {
+
+namespace {
+
+// Worker-thread context. A worker belongs to exactly one engine for its
+// lifetime; the coordinator (and any other thread) leaves these unset, so
+// `t_engine == this` is the "inside one of my event callbacks" test.
+thread_local ParallelSimulator* t_engine = nullptr;
+thread_local size_t t_shard = 0;
+
+constexpr uint64_t kRemoteBit = uint64_t{1} << 63;
+constexpr size_t kMaxShards = 128;  // 7 shard bits in every handle
+
+size_t ClampShards(size_t n) { return std::max<size_t>(1, std::min(n, kMaxShards)); }
+
+// Local handle: [63]=0 [62:56]=shard [55:32]=slot [31:0]=generation.
+uint64_t LocalHandle(size_t shard, ShardQueue::Ticket t) {
+  assert(t.slot < (uint32_t{1} << 24));
+  return (static_cast<uint64_t>(shard) << 56) |
+         (static_cast<uint64_t>(t.slot) << 32) | t.gen;
+}
+
+// Remote handle: [63]=1 [62:56]=dest shard [55:48]=source shard
+// [47:0]=per-(source,dest) sequence. The handle doubles as the key in the
+// destination shard's remote map, so the uniqueness argument is the bit
+// layout itself.
+uint64_t RemoteHandle(size_t dest, size_t src, uint64_t rseq) {
+  return kRemoteBit | (static_cast<uint64_t>(dest) << 56) |
+         (static_cast<uint64_t>(src) << 48) |
+         (rseq & ((uint64_t{1} << 48) - 1));
+}
+
+uint64_t PackTicket(ShardQueue::Ticket t) {
+  return (static_cast<uint64_t>(t.slot) << 32) | t.gen;
+}
+
+ShardQueue::Ticket UnpackTicket(uint64_t packed) {
+  return {static_cast<uint32_t>(packed >> 32), static_cast<uint32_t>(packed)};
+}
+
+}  // namespace
+
+ParallelSimulator::ParallelSimulator(uint64_t seed, Options options)
+    : seed_(seed),
+      lookahead_(options.lookahead == 0 ? 1 : options.lookahead),
+      sync_(static_cast<std::ptrdiff_t>(ClampShards(options.num_shards) + 1)) {
+  const size_t n = ClampShards(options.num_shards);
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->index = i;
+    shard->outbox.resize(n);
+    shard->cancel_outbox.resize(n);
+    shard->rseq_out.resize(n);
+    shards_.push_back(std::move(shard));
+  }
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back(&ParallelSimulator::WorkerLoop, this, i);
+  }
+}
+
+ParallelSimulator::~ParallelSimulator() {
+  command_ = Command::kShutdown;
+  sync_.arrive_and_wait();
+  for (auto& worker : workers_) worker.join();
+}
+
+SimTime ParallelSimulator::now() const {
+  return t_engine == this ? shards_[t_shard]->now : global_now_;
+}
+
+size_t ParallelSimulator::current_shard() const {
+  return t_engine == this ? t_shard : 0;
+}
+
+NodeId ParallelSimulator::CurrentContextNode() const {
+  return t_engine == this ? shards_[t_shard]->current_node : kInvalidNode;
+}
+
+uint64_t ParallelSimulator::NextOseq(Shard& shard, NodeId origin) {
+  // Shards store counters only for the origins they own, densely.
+  size_t index = static_cast<size_t>(origin / shards_.size());
+  if (index >= shard.oseq.size()) shard.oseq.resize(index + 1, 0);
+  return shard.oseq[index]++;
+}
+
+uint64_t ParallelSimulator::ScheduleAt(NodeId owner, SimTime t,
+                                       std::function<void()> fn) {
+  const size_t dest = ShardOf(owner);
+  if (t_engine != this) {
+    // Coordinator context (engine idle between windows): direct insert as
+    // origin 0. The origin-0 sequence is shard 0's counter for node 0 so
+    // that owner-0 callbacks and coordinator schedules share one stream,
+    // exactly like the serial engine's oseq_[0].
+    assert(t >= global_now_);
+    if (t < global_now_) t = global_now_;
+    uint64_t tiebreak = MakeTiebreak(0, NextOseq(*shards_[0], 0));
+    return LocalHandle(
+        dest, shards_[dest]->queue.Insert(t, tiebreak, owner, std::move(fn)));
+  }
+  Shard& cur = *shards_[t_shard];
+  const NodeId origin = cur.current_node;
+  uint64_t tiebreak = MakeTiebreak(origin, NextOseq(cur, origin));
+  if (t < cur.now) t = cur.now;
+  if (dest == cur.index) {
+    // Same-shard (in particular: self) schedules are unrestricted — a
+    // zero-latency self-send executes inside the current window.
+    return LocalHandle(dest,
+                       cur.queue.Insert(t, tiebreak, owner, std::move(fn)));
+  }
+  // Cross-shard: buffer in the outbox, merged by the destination at the
+  // next barrier. A target inside the current window arrives causally
+  // late; count it — the setup's lookahead was too large.
+  if (t < window_end_) {
+    lookahead_violations_.fetch_add(1, std::memory_order_relaxed);
+  }
+  uint64_t handle = RemoteHandle(dest, cur.index, cur.rseq_out[dest]++);
+  cur.outbox[dest].push_back(
+      Transfer{t, tiebreak, handle, owner, std::move(fn)});
+  return handle;
+}
+
+bool ParallelSimulator::ApplyLocalCancel(size_t dest, uint64_t event_id) {
+  Shard& shard = *shards_[dest];
+  if (event_id & kRemoteBit) {
+    auto it = shard.remote_map.find(event_id);
+    if (it == shard.remote_map.end()) return false;  // ran or cancelled
+    ShardQueue::Ticket ticket = UnpackTicket(it->second);
+    shard.remote_map.erase(it);
+    return shard.queue.CancelTicket(ticket);
+  }
+  ShardQueue::Ticket ticket = UnpackTicket(event_id & ~(uint64_t{0x7F} << 56));
+  uint64_t remote_key = 0;
+  bool cancelled = shard.queue.CancelTicket(ticket, &remote_key);
+  if (cancelled && remote_key != 0) shard.remote_map.erase(remote_key);
+  return cancelled;
+}
+
+bool ParallelSimulator::Cancel(uint64_t event_id) {
+  if (event_id == kInvalidEventId) return false;
+  const size_t dest = (event_id >> 56) & 0x7F;
+  if (dest >= shards_.size()) return false;
+  if (t_engine != this) return ApplyLocalCancel(dest, event_id);
+  Shard& cur = *shards_[t_shard];
+  if (dest == cur.index) return ApplyLocalCancel(dest, event_id);
+  // Cross-shard: deferred to the barrier. Deterministic iff the target is
+  // at least one lookahead away (the cross-node scheduling bound).
+  cur.cancel_outbox[dest].push_back(event_id);
+  return true;
+}
+
+void ParallelSimulator::ExecuteWindow(Shard& shard) {
+  ShardQueue::Ready ready;
+  uint64_t remote_key = 0;
+  const SimTime limit = window_limit_;
+  while (shard.queue.PopRunnable(limit, &ready, &remote_key)) {
+    if (remote_key != 0) shard.remote_map.erase(remote_key);
+    if (ready.time > shard.now) shard.now = ready.time;
+    ++shard.executed;
+    shard.current_node = ready.owner;
+    ready.fn();
+  }
+  shard.current_node = kInvalidNode;
+}
+
+void ParallelSimulator::MergeInbound(Shard& shard) {
+  // Drain source shards in index order; each outbox preserves its source's
+  // (deterministic) emission order, so the merge is deterministic too.
+  for (auto& src : shards_) {
+    auto& inbox = src->outbox[shard.index];
+    for (Transfer& tr : inbox) {
+      ShardQueue::Ticket ticket = shard.queue.Insert(
+          tr.time, tr.tiebreak, tr.owner, std::move(tr.fn), tr.remote_key);
+      shard.remote_map[tr.remote_key] = PackTicket(ticket);
+    }
+    inbox.clear();
+    auto& cancels = src->cancel_outbox[shard.index];
+    for (uint64_t id : cancels) ApplyLocalCancel(shard.index, id);
+    cancels.clear();
+  }
+}
+
+void ParallelSimulator::WorkerLoop(size_t index) {
+  t_engine = this;
+  t_shard = index;
+  Shard& shard = *shards_[index];
+  for (;;) {
+    sync_.arrive_and_wait();  // phase A: window params published
+    if (command_ == Command::kShutdown) return;
+    ExecuteWindow(shard);
+    sync_.arrive_and_wait();  // phase B: all shards done executing
+    MergeInbound(shard);
+    sync_.arrive_and_wait();  // phase C: all inboxes merged
+  }
+}
+
+SimTime ParallelSimulator::MinHeadTime() {
+  SimTime head = kSimTimeNever;
+  for (auto& shard : shards_) head = std::min(head, shard->queue.HeadTime());
+  return head;
+}
+
+size_t ParallelSimulator::RunUntil(SimTime until) {
+  assert(t_engine != this && "RunUntil must not be called from a callback");
+  size_t before = 0;
+  for (auto& shard : shards_) before += shard->executed;
+  for (;;) {
+    const SimTime next = MinHeadTime();
+    if (next == kSimTimeNever || next > until) break;
+    window_end_ = (lookahead_ > kSimTimeNever - next) ? kSimTimeNever
+                                                      : next + lookahead_;
+    window_limit_ = std::min(
+        until, window_end_ == kSimTimeNever ? kSimTimeNever : window_end_ - 1);
+    command_ = Command::kWindow;
+    sync_.arrive_and_wait();  // phase A: params visible to workers
+    sync_.arrive_and_wait();  // phase B: execution done
+    sync_.arrive_and_wait();  // phase C: merge done; queues quiescent
+  }
+  size_t after = 0;
+  for (auto& shard : shards_) {
+    after += shard->executed;
+    global_now_ = std::max(global_now_, shard->now);
+  }
+  return after - before;
+}
+
+void ParallelSimulator::ReserveEvents(size_t n) {
+  assert(t_engine != this);
+  const size_t per_shard = n / shards_.size() + 1;
+  for (auto& shard : shards_) shard->queue.Reserve(per_shard);
+}
+
+size_t ParallelSimulator::events_executed() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->executed;
+  return total;
+}
+
+size_t ParallelSimulator::pending_events() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->queue.live();
+    for (const auto& box : shard->outbox) total += box.size();
+  }
+  return total;
+}
+
+}  // namespace edgelet::net::parsim

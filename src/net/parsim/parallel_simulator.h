@@ -1,0 +1,139 @@
+#ifndef EDGELET_NET_PARSIM_PARALLEL_SIMULATOR_H_
+#define EDGELET_NET_PARSIM_PARALLEL_SIMULATOR_H_
+
+#include <atomic>
+#include <barrier>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/parsim/engine.h"
+#include "net/parsim/shard_queue.h"
+
+namespace edgelet::net::parsim {
+
+// Conservative (window-barrier) parallel discrete-event engine. Nodes are
+// sharded across worker threads by `node_id % num_shards`; each window the
+// workers execute their shards' events inside [w, w + lookahead) — the
+// lookahead being the minimum cross-node scheduling delay (for Edgelet,
+// the minimum link latency) — then meet at a barrier where cross-shard
+// schedules and cancels buffered in per-shard outboxes are merged. Because
+// no cross-shard event can land inside the window that produced it, every
+// shard sees all of a node's events before their time comes, and executing
+// them in the deterministic (time, origin, origin-seq) key order of
+// SimEngine reproduces the serial engine's per-node schedule exactly — for
+// any shard count, including 1.
+//
+// Threading model: RunUntil drives `num_shards` persistent worker threads
+// through three barrier phases per window (params published -> execute ->
+// merge). All shard state is single-writer inside a phase: a shard's queue
+// is touched only by its worker during execute/merge and only by the
+// coordinating thread between windows; outbox (a -> b) is written by a
+// during execute and drained by b during merge. Everything else
+// (ScheduleAt/Cancel from the coordinating thread) requires the engine to
+// be idle.
+class ParallelSimulator : public SimEngine {
+ public:
+  struct Options {
+    size_t num_shards = 1;
+    // Window width; must not exceed the minimum cross-node scheduling
+    // delay or cross-shard events become causally late (counted in
+    // lookahead_violations, not repaired). Clamped to >= 1 microsecond.
+    SimDuration lookahead = 20 * kMillisecond;
+  };
+
+  ParallelSimulator(uint64_t seed, Options options);
+  ~ParallelSimulator() override;
+
+  ParallelSimulator(const ParallelSimulator&) = delete;
+  ParallelSimulator& operator=(const ParallelSimulator&) = delete;
+
+  SimTime now() const override;
+  uint64_t seed() const override { return seed_; }
+
+  using SimEngine::ScheduleAfter;
+  using SimEngine::ScheduleAt;
+  uint64_t ScheduleAt(NodeId owner, SimTime t,
+                      std::function<void()> fn) override;
+  bool Cancel(uint64_t event_id) override;
+  size_t RunUntil(SimTime until) override;
+  void ReserveEvents(size_t n) override;
+  size_t events_executed() const override;
+  size_t pending_events() const override;
+
+  size_t num_shards() const override { return shards_.size(); }
+  size_t current_shard() const override;
+  size_t ShardOf(NodeId node) const override {
+    return static_cast<size_t>(node % shards_.size());
+  }
+
+  SimDuration lookahead() const { return lookahead_; }
+  // Cross-shard schedules that landed inside the window that produced
+  // them (a lookahead misconfiguration: the engine still runs them, but
+  // cross-engine determinism is void). Zero in a correct setup.
+  uint64_t lookahead_violations() const {
+    return lookahead_violations_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  NodeId CurrentContextNode() const override;
+
+ private:
+  // A cross-shard schedule buffered until the next barrier.
+  struct Transfer {
+    SimTime time = 0;
+    uint64_t tiebreak = 0;
+    uint64_t remote_key = 0;
+    NodeId owner = kInvalidNode;
+    std::function<void()> fn;
+  };
+
+  struct alignas(64) Shard {
+    size_t index = 0;
+    ShardQueue queue;
+    SimTime now = 0;
+    NodeId current_node = kInvalidNode;
+    size_t executed = 0;
+    // Per-origin schedule counters for owned nodes (index = node /
+    // num_shards) feeding the deterministic tiebreak.
+    std::vector<uint64_t> oseq;
+    // outbox[d] / cancel_outbox[d]: schedules and cancels bound for shard
+    // d, drained by d's worker in the merge phase.
+    std::vector<std::vector<Transfer>> outbox;
+    std::vector<std::vector<uint64_t>> cancel_outbox;
+    // Per-destination counters naming cross-shard events (remote handles).
+    std::vector<uint64_t> rseq_out;
+    // remote key -> packed local ticket, for cross-shard Cancel.
+    std::unordered_map<uint64_t, uint64_t> remote_map;
+  };
+
+  enum class Command : uint8_t { kWindow, kShutdown };
+
+  uint64_t NextOseq(Shard& shard, NodeId origin);
+  bool ApplyLocalCancel(size_t dest, uint64_t event_id);
+  void WorkerLoop(size_t index);
+  void ExecuteWindow(Shard& shard);
+  void MergeInbound(Shard& shard);
+  SimTime MinHeadTime();
+
+  uint64_t seed_ = 0;
+  SimDuration lookahead_ = 1;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::thread> workers_;
+  std::barrier<> sync_;
+
+  // Window parameters: written by the coordinator before the phase-start
+  // barrier, read by workers after it (the barrier orders the accesses).
+  Command command_ = Command::kWindow;
+  SimTime window_limit_ = 0;  // inclusive upper bound for this window
+  SimTime window_end_ = 0;    // exclusive window end (lookahead horizon)
+
+  SimTime global_now_ = 0;
+  std::atomic<uint64_t> lookahead_violations_{0};
+};
+
+}  // namespace edgelet::net::parsim
+
+#endif  // EDGELET_NET_PARSIM_PARALLEL_SIMULATOR_H_

@@ -1,0 +1,176 @@
+#ifndef EDGELET_NET_PARSIM_SHARD_QUEUE_H_
+#define EDGELET_NET_PARSIM_SHARD_QUEUE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "net/message.h"
+
+namespace edgelet::net::parsim {
+
+// Deterministic event-ordering key: events execute in ascending
+// (time, tiebreak) order, where tiebreak packs (origin node, per-origin
+// sequence). Both quantities are derived from per-node execution only, so
+// the key — unlike a global scheduling counter — is identical for any
+// shard count. Origin ids must fit 24 bits (16.7M nodes) and per-origin
+// sequences 40 bits (1.1e12 schedules per node).
+inline uint64_t MakeTiebreak(NodeId origin, uint64_t oseq) {
+  return (static_cast<uint64_t>(origin) << 40) |
+         (oseq & ((uint64_t{1} << 40) - 1));
+}
+
+// One shard's event storage: a binary heap of trivially-copyable keys over
+// a generation-counted callback slab (the PR 1 serial-queue design, shared
+// here so the serial and parallel engines sort events with byte-identical
+// comparators). Cancellation bumps the slot generation (a tombstone);
+// slots recycle through a free list so steady state stops allocating.
+// Single-threaded by construction — the owning engine serializes access.
+class ShardQueue {
+ public:
+  // (slot, gen) pair the caller packs into an engine-level handle.
+  struct Ticket {
+    uint32_t slot = 0;
+    uint32_t gen = 0;
+  };
+
+  // A popped, runnable event.
+  struct Ready {
+    SimTime time = 0;
+    NodeId owner = kInvalidNode;
+    std::function<void()> fn;
+  };
+
+  void Reserve(size_t n) {
+    heap_.reserve(n);
+    slots_.reserve(n);
+  }
+
+  Ticket Insert(SimTime t, uint64_t tiebreak, NodeId owner,
+                std::function<void()> fn, uint64_t remote_key = 0) {
+    uint32_t slot = AllocSlot(std::move(fn), owner, remote_key);
+    uint32_t gen = slots_[slot].gen;
+    heap_.push_back(HeapEntry{t, tiebreak, slot, gen});
+    std::push_heap(heap_.begin(), heap_.end(), EntryLater{});
+    ++live_;
+    return {slot, gen};
+  }
+
+  // Cancels the slot if the generation still matches. On success stores
+  // the slot's remote key (0 if none) so the caller can drop its own
+  // remote-handle mapping.
+  bool CancelTicket(Ticket ticket, uint64_t* remote_key_out = nullptr) {
+    if (ticket.slot >= slots_.size()) return false;
+    Slot& s = slots_[ticket.slot];
+    if (s.gen != ticket.gen) return false;
+    if (remote_key_out != nullptr) *remote_key_out = s.remote_key;
+    FreeSlot(ticket.slot);
+    --live_;
+    return true;
+  }
+
+  // Time of the earliest pending event (tombstones pruned), or
+  // kSimTimeNever when empty.
+  SimTime HeadTime() {
+    PruneHead();
+    return heap_.empty() ? kSimTimeNever : heap_.front().time;
+  }
+
+  // Pops the earliest event if its time is <= `limit`. The slot is freed
+  // before returning so the callback may cancel/schedule freely. On
+  // success stores the slot's remote key (0 if none).
+  bool PopRunnable(SimTime limit, Ready* out, uint64_t* remote_key_out) {
+    PruneHead();
+    if (heap_.empty() || heap_.front().time > limit) return false;
+    HeapEntry e = heap_.front();
+    PopEntry();
+    --live_;
+    Slot& s = slots_[e.slot];
+    out->time = e.time;
+    out->owner = s.owner;
+    out->fn = std::move(s.fn);
+    *remote_key_out = s.remote_key;
+    FreeSlot(e.slot);
+    return true;
+  }
+
+  size_t live() const { return live_; }
+  size_t slot_count() const { return slots_.size(); }
+
+ private:
+  // 24-byte POD heap key; sift operations never touch the std::function.
+  struct HeapEntry {
+    SimTime time;
+    uint64_t tiebreak;  // (origin, oseq): deterministic tie order
+    uint32_t slot;
+    uint32_t gen;
+  };
+  // Min-heap on (time, tiebreak) via the std heap algorithms (which build
+  // a max-heap w.r.t. the comparator, so "later" sorts toward the leaves).
+  struct EntryLater {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.tiebreak > b.tiebreak;
+    }
+  };
+  struct Slot {
+    std::function<void()> fn;
+    uint64_t remote_key = 0;
+    NodeId owner = kInvalidNode;
+    uint32_t gen = 1;
+    uint32_t next_free = kNoFreeSlot;
+  };
+  static constexpr uint32_t kNoFreeSlot = 0xFFFFFFFFu;
+
+  uint32_t AllocSlot(std::function<void()> fn, NodeId owner,
+                     uint64_t remote_key) {
+    uint32_t slot;
+    if (free_head_ != kNoFreeSlot) {
+      slot = free_head_;
+      free_head_ = slots_[slot].next_free;
+    } else {
+      slot = static_cast<uint32_t>(slots_.size());
+      slots_.emplace_back();
+    }
+    Slot& s = slots_[slot];
+    s.fn = std::move(fn);
+    s.owner = owner;
+    s.remote_key = remote_key;
+    return slot;
+  }
+
+  void FreeSlot(uint32_t slot) {
+    Slot& s = slots_[slot];
+    s.fn = nullptr;
+    s.remote_key = 0;
+    // Bumping the generation tombstones every outstanding handle and heap
+    // entry that still refers to this slot.
+    ++s.gen;
+    s.next_free = free_head_;
+    free_head_ = slot;
+  }
+
+  bool IsTombstone(const HeapEntry& e) const {
+    return slots_[e.slot].gen != e.gen;
+  }
+
+  void PopEntry() {
+    std::pop_heap(heap_.begin(), heap_.end(), EntryLater{});
+    heap_.pop_back();
+  }
+
+  void PruneHead() {
+    while (!heap_.empty() && IsTombstone(heap_.front())) PopEntry();
+  }
+
+  std::vector<HeapEntry> heap_;
+  std::vector<Slot> slots_;
+  uint32_t free_head_ = kNoFreeSlot;
+  size_t live_ = 0;
+};
+
+}  // namespace edgelet::net::parsim
+
+#endif  // EDGELET_NET_PARSIM_SHARD_QUEUE_H_

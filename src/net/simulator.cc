@@ -1,104 +1,56 @@
 #include "net/simulator.h"
 
-#include <algorithm>
 #include <cassert>
 
 namespace edgelet::net {
 
-Simulator::Simulator(uint64_t seed) : rng_(seed) {
+Simulator::Simulator(uint64_t seed) : seed_(seed), rng_(seed) {
   // A modest pre-size: enough for small fixtures, irrelevant next to the
   // amortized growth of real fleets (which call ReserveEvents up front).
   ReserveEvents(64);
 }
 
-void Simulator::ReserveEvents(size_t n) {
-  heap_.reserve(n);
-  slots_.reserve(n);
+void Simulator::ReserveEvents(size_t n) { queue_.Reserve(n); }
+
+uint64_t Simulator::NextOseq(NodeId origin) {
+  if (origin >= oseq_.size()) oseq_.resize(origin + 1, 0);
+  return oseq_[origin]++;
 }
 
-uint32_t Simulator::AllocSlot(std::function<void()> fn) {
-  uint32_t slot;
-  if (free_head_ != kNoFreeSlot) {
-    slot = free_head_;
-    free_head_ = slots_[slot].next_free;
-  } else {
-    slot = static_cast<uint32_t>(slots_.size());
-    slots_.emplace_back();
-  }
-  slots_[slot].fn = std::move(fn);
-  return slot;
-}
-
-void Simulator::FreeSlot(uint32_t slot) {
-  Slot& s = slots_[slot];
-  s.fn = nullptr;
-  // Bumping the generation tombstones every outstanding handle and heap
-  // entry that still refers to this slot.
-  ++s.gen;
-  s.next_free = free_head_;
-  free_head_ = slot;
-}
-
-void Simulator::PopEntry() {
-  std::pop_heap(heap_.begin(), heap_.end(), EntryLater{});
-  heap_.pop_back();
-}
-
-uint64_t Simulator::ScheduleAt(SimTime t, std::function<void()> fn) {
+uint64_t Simulator::ScheduleAt(NodeId owner, SimTime t,
+                               std::function<void()> fn) {
   assert(t >= now_);
   if (t < now_) t = now_;
-  uint32_t slot = AllocSlot(std::move(fn));
-  uint32_t gen = slots_[slot].gen;
-  heap_.push_back(HeapEntry{t, next_seq_++, slot, gen});
-  std::push_heap(heap_.begin(), heap_.end(), EntryLater{});
-  ++live_events_;
-  return MakeHandle(slot, gen);
-}
-
-uint64_t Simulator::ScheduleAfter(SimDuration delay, std::function<void()> fn) {
-  SimTime t = (delay > kSimTimeNever - now_) ? kSimTimeNever : now_ + delay;
-  return ScheduleAt(t, std::move(fn));
+  uint64_t tiebreak =
+      parsim::MakeTiebreak(current_origin_, NextOseq(current_origin_));
+  return MakeHandle(queue_.Insert(t, tiebreak, owner, std::move(fn)));
 }
 
 bool Simulator::Cancel(uint64_t event_id) {
-  uint32_t slot = static_cast<uint32_t>(event_id >> 32);
-  uint32_t gen = static_cast<uint32_t>(event_id);
+  parsim::ShardQueue::Ticket ticket{static_cast<uint32_t>(event_id >> 32),
+                                    static_cast<uint32_t>(event_id)};
   // A stale generation means the event already ran or was cancelled (the
   // slot may even host a different event by now); both are no-ops.
-  if (slot >= slots_.size() || slots_[slot].gen != gen) return false;
-  FreeSlot(slot);
-  --live_events_;
-  return true;
+  return queue_.CancelTicket(ticket);
 }
 
 bool Simulator::Step() {
-  while (!heap_.empty()) {
-    HeapEntry e = heap_.front();
-    PopEntry();
-    if (IsTombstone(e)) continue;  // cancelled
-    now_ = e.time;
-    ++events_executed_;
-    --live_events_;
-    // Free the slot before running so the callback can cancel/schedule
-    // freely (its own handle is already stale) and the slot is reusable.
-    std::function<void()> fn = std::move(slots_[e.slot].fn);
-    FreeSlot(e.slot);
-    fn();
-    return true;
-  }
-  return false;
+  parsim::ShardQueue::Ready ready;
+  uint64_t remote_key = 0;
+  if (!queue_.PopRunnable(kSimTimeNever, &ready, &remote_key)) return false;
+  now_ = ready.time;
+  ++events_executed_;
+  // The event's owner is the scheduling origin for everything its
+  // callback schedules — the deterministic tie order of SimEngine.
+  current_origin_ = ready.owner;
+  ready.fn();
+  current_origin_ = kInvalidNode;
+  return true;
 }
 
 size_t Simulator::RunUntil(SimTime until) {
   size_t executed = 0;
-  for (;;) {
-    // Drop cancelled events from the head so the peek below is accurate.
-    while (!heap_.empty() && IsTombstone(heap_.front())) PopEntry();
-    if (heap_.empty()) break;
-    if (heap_.front().time > until) break;
-    if (!Step()) break;
-    ++executed;
-  }
+  while (queue_.HeadTime() <= until && Step()) ++executed;
   return executed;
 }
 

@@ -7,93 +7,73 @@
 
 #include "common/rng.h"
 #include "common/sim_time.h"
+#include "net/parsim/engine.h"
+#include "net/parsim/shard_queue.h"
 
 namespace edgelet::net {
 
-// Single-threaded discrete-event simulator. Events execute in (time, FIFO)
-// order; ties break by scheduling order so runs are fully deterministic for
-// a given seed. All Edgelet executions — heartbeats, message deliveries,
-// churn transitions, deadlines — are events on this queue.
+// Single-threaded discrete-event simulator. Events execute in
+// (time, origin, origin-sequence) order — see SimEngine for why that key
+// (rather than global scheduling order) is what makes a run bit-identical
+// to the sharded parsim::ParallelSimulator. All Edgelet executions —
+// heartbeats, message deliveries, churn transitions, deadlines — are
+// events on this queue.
 //
-// The queue is a binary heap of trivially-copyable keys; callbacks live in
-// a generation-counted slot slab. Cancellation bumps the slot generation
-// (a tombstone), so Schedule/Step/Cancel are all array operations with no
-// per-event hashing, and slots are recycled through a free list so a
-// steady-state simulation stops allocating.
-class Simulator {
+// The queue is a binary heap of trivially-copyable keys over a
+// generation-counted callback slab (parsim::ShardQueue, shared with the
+// parallel engine's shards), so Schedule/Step/Cancel are all array
+// operations with no per-event hashing and a steady-state simulation
+// stops allocating.
+class Simulator : public SimEngine {
  public:
   explicit Simulator(uint64_t seed = 1);
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
-  SimTime now() const { return now_; }
+  SimTime now() const override { return now_; }
+  uint64_t seed() const override { return seed_; }
+
+  // Engine-global RNG: test fixtures and standalone experiments draw from
+  // it. The Network no longer does — network sampling flows through
+  // per-node NodeRng streams so results are engine-independent.
   Rng& rng() { return rng_; }
 
-  // Schedules `fn` at absolute time `t` (>= now). Returns an event id that
-  // can be cancelled.
-  uint64_t ScheduleAt(SimTime t, std::function<void()> fn);
-  uint64_t ScheduleAfter(SimDuration delay, std::function<void()> fn);
+  using SimEngine::ScheduleAfter;
+  using SimEngine::ScheduleAt;
+  uint64_t ScheduleAt(NodeId owner, SimTime t,
+                      std::function<void()> fn) override;
 
-  // Cancels a pending event; returns false if it already ran or was
-  // cancelled.
-  bool Cancel(uint64_t event_id);
+  bool Cancel(uint64_t event_id) override;
 
   // Executes one event; returns false if the queue is empty.
   bool Step();
 
-  // Runs until the queue drains or the next event is past `until`.
-  // Returns the number of events executed.
-  size_t RunUntil(SimTime until);
-  size_t Run() { return RunUntil(kSimTimeNever); }
+  size_t RunUntil(SimTime until) override;
 
-  // Pre-sizes the heap and the callback slab for `n` in-flight events.
-  void ReserveEvents(size_t n);
+  void ReserveEvents(size_t n) override;
 
-  size_t events_executed() const { return events_executed_; }
-  size_t pending_events() const { return live_events_; }
+  size_t events_executed() const override { return events_executed_; }
+  size_t pending_events() const override { return queue_.live(); }
+
+ protected:
+  NodeId CurrentContextNode() const override { return current_origin_; }
 
  private:
-  // 24-byte POD heap key; sift operations never touch the std::function.
-  struct HeapEntry {
-    SimTime time;
-    uint64_t seq;  // global scheduling order: breaks time ties FIFO
-    uint32_t slot;
-    uint32_t gen;
-  };
-  // Min-heap on (time, seq) via the std heap algorithms (which build a
-  // max-heap w.r.t. the comparator, so "later" sorts toward the leaves).
-  struct EntryLater {
-    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
-  struct Slot {
-    std::function<void()> fn;
-    uint32_t gen = 1;
-    uint32_t next_free = kNoFreeSlot;
-  };
-  static constexpr uint32_t kNoFreeSlot = 0xFFFFFFFFu;
-
-  static uint64_t MakeHandle(uint32_t slot, uint32_t gen) {
-    return (static_cast<uint64_t>(slot) << 32) | gen;
+  static uint64_t MakeHandle(parsim::ShardQueue::Ticket t) {
+    return (static_cast<uint64_t>(t.slot) << 32) | t.gen;
   }
 
-  uint32_t AllocSlot(std::function<void()> fn);
-  void FreeSlot(uint32_t slot);
-  bool IsTombstone(const HeapEntry& e) const {
-    return slots_[e.slot].gen != e.gen;
-  }
-  void PopEntry();
+  uint64_t NextOseq(NodeId origin);
 
   SimTime now_ = 0;
-  uint64_t next_seq_ = 1;
+  uint64_t seed_ = 0;
   size_t events_executed_ = 0;
-  size_t live_events_ = 0;
-  std::vector<HeapEntry> heap_;
-  std::vector<Slot> slots_;
-  uint32_t free_head_ = kNoFreeSlot;
+  NodeId current_origin_ = kInvalidNode;
+  parsim::ShardQueue queue_;
+  // Per-origin schedule counters (index = origin node id; 0 = global
+  // context). Sized on demand; node ids are dense so this stays compact.
+  std::vector<uint64_t> oseq_;
   Rng rng_;
 };
 
