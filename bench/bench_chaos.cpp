@@ -1,0 +1,178 @@
+// Chaos scenario matrix — the validity invariant under injected faults.
+// Sweeps every probabilistic fault kind (drop, burst, duplicate, delay,
+// corrupt) x fault rate x strategy (Overcollection, Backup) under the
+// deterministic chaos injector and audits each trial with the central
+// ValidityOracle. Expected shape: trials split between *valid* (the
+// delivered answer equals a centralized rerun over the recorded crowd
+// sample) and *failed-safe* (no answer before the deadline); a
+// *successful-but-invalid* cell is an invariant violation and fails the
+// bench with exit 1.
+//
+// Runs on the parallel trial harness (see trial_runner.h): every
+// (cell, trial) pair is an independent seed-deterministic simulation, so
+// --jobs N changes wall-clock only — per-seed verdicts are identical.
+
+#include "bench_util.h"
+#include "chaos/chaos.h"
+#include "common/hash.h"
+#include "core/validity_oracle.h"
+#include "trial_runner.h"
+
+using namespace edgelet;
+
+namespace {
+
+using chaos::FaultKind;
+
+struct TrialResult {
+  bench::TrialStatus status;
+  core::TrialVerdict verdict = core::TrialVerdict::kFailedSafe;
+  uint64_t fingerprint = 0;
+};
+
+struct Cell {
+  FaultKind kind = FaultKind::kDrop;
+  double rate = 0;
+  exec::Strategy strategy = exec::Strategy::kOvercollection;
+  int valid = 0;
+  int invalid = 0;
+  int failed_safe = 0;
+  int skipped = 0;
+  uint64_t fingerprint = 0;  // order-combined over completed trials
+};
+
+TrialResult RunOne(const Cell& cell, int trial) {
+  TrialResult r;
+  uint64_t seed = 17000 + trial * 31;
+  core::EdgeletFramework fw(bench::StandardFleet(120, 40, seed));
+  if (!fw.Init().ok()) {
+    r.status = {true, "init"};
+    return r;
+  }
+  query::Query q = bench::SurveyQuery(40, seed);
+  auto d = fw.Plan(q, {}, {0.1, 0.99}, cell.strategy);
+  if (!d.ok()) {
+    r.status = {true, "plan"};
+    return r;
+  }
+  // Chaos seed varies per trial but not per cell shape: the same schedule
+  // shape replays across kinds/rates, isolating the knob under sweep.
+  chaos::ChaosInjector injector(
+      chaos::MakeFaultScenario(cell.kind, seed + 7, cell.rate));
+  injector.AttachTo(fw.network());
+  exec::ExecutionConfig ec;
+  ec.collection_window = 30 * kSecond;
+  ec.deadline = 4 * kMinute;
+  ec.inject_failures = false;
+  auto report = fw.Execute(*d, ec);
+  injector.Detach();
+  if (!report.ok()) {
+    r.status = {true, "execute"};
+    return r;
+  }
+  core::ValidityOracle oracle(&fw);
+  auto audit = oracle.Audit(*d, *report);
+  if (!audit.ok()) {
+    r.status = {true, "execute"};
+    return r;
+  }
+  r.verdict = audit->verdict;
+  r.fingerprint = exec::ReportFingerprint(*report);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::HarnessOptions opt =
+      bench::ParseHarnessOptions(argc, argv, "chaos", /*default_trials=*/5);
+  bench::PrintHeader(
+      "Chaos matrix: validity under injected message-level faults",
+      "Expected: every cell is valid or failed-safe; a successful execution "
+      "whose answer diverges from the centralized rerun (invalid) fails "
+      "this bench with exit 1.");
+
+  const FaultKind kKinds[] = {FaultKind::kDrop, FaultKind::kBurst,
+                              FaultKind::kDuplicate, FaultKind::kDelay,
+                              FaultKind::kCorrupt};
+  const double kRates[] = {0.05, 0.15, 0.30};
+  const exec::Strategy kStrategies[] = {exec::Strategy::kOvercollection,
+                                        exec::Strategy::kBackup};
+
+  std::vector<Cell> cells;
+  for (FaultKind kind : kKinds) {
+    for (double rate : kRates) {
+      for (exec::Strategy strategy : kStrategies) {
+        Cell c;
+        c.kind = kind;
+        c.rate = rate;
+        c.strategy = strategy;
+        cells.push_back(c);
+      }
+    }
+  }
+  const int per_cell = opt.trials;
+  const int total = static_cast<int>(cells.size()) * per_cell;
+
+  bench::WallTimer timer;
+  bench::TrialExecutor executor(opt.jobs);
+  std::vector<TrialResult> results = executor.Map(total, [&](int i) {
+    return RunOne(cells[i / per_cell], i % per_cell);
+  });
+
+  int skipped_total = 0;
+  for (size_t c = 0; c < cells.size(); ++c) {
+    for (int t = 0; t < per_cell; ++t) {
+      const TrialResult& r = results[c * per_cell + t];
+      if (r.status.skipped) {
+        ++cells[c].skipped;
+        ++skipped_total;
+        continue;
+      }
+      switch (r.verdict) {
+        case core::TrialVerdict::kValid: ++cells[c].valid; break;
+        case core::TrialVerdict::kInvalid: ++cells[c].invalid; break;
+        case core::TrialVerdict::kFailedSafe: ++cells[c].failed_safe; break;
+      }
+      cells[c].fingerprint = HashCombine(cells[c].fingerprint, r.fingerprint);
+    }
+  }
+
+  std::printf("%10s %6s %16s %8s %8s %12s\n", "fault", "rate", "strategy",
+              "valid", "invalid", "failed-safe");
+  bench::PrintRule(66);
+  bench::BenchJson json("chaos", opt);
+  int invalid_total = 0;
+  for (const Cell& c : cells) {
+    std::string strategy_name(exec::StrategyName(c.strategy));
+    std::printf("%10s %6.2f %16s %8d %8d %12d\n",
+                chaos::FaultKindName(c.kind), c.rate, strategy_name.c_str(),
+                c.valid, c.invalid, c.failed_safe);
+    invalid_total += c.invalid;
+    json.AddRow({{"fault", bench::JsonStr(chaos::FaultKindName(c.kind))},
+                 {"rate", bench::JsonNum(c.rate)},
+                 {"strategy", bench::JsonStr(exec::StrategyName(c.strategy))},
+                 {"valid", bench::JsonNum(c.valid)},
+                 {"invalid", bench::JsonNum(c.invalid)},
+                 {"failed_safe", bench::JsonNum(c.failed_safe)},
+                 {"skipped", bench::JsonNum(c.skipped)},
+                 {"report_fingerprint",
+                  bench::JsonStr(std::to_string(c.fingerprint))}});
+  }
+  std::printf("\n(%d trials per cell; fleet 120/40, snapshot 40, presumed "
+              "p=0.10, target 0.99)\n", per_cell);
+  if (skipped_total > 0) {
+    std::printf("WARNING: %d trial(s) skipped (Init/Plan/Execute/Audit "
+                "failure) — excluded from the verdict counts above.\n",
+                skipped_total);
+  }
+  json.Write(timer.ElapsedMs(), skipped_total);
+  if (invalid_total > 0) {
+    std::fprintf(stderr,
+                 "FAIL: %d successful-but-invalid trial(s) — the validity "
+                 "invariant is broken.\n",
+                 invalid_total);
+    return 1;
+  }
+  return 0;
+}

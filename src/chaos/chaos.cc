@@ -1,0 +1,165 @@
+#include "chaos/chaos.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace edgelet::chaos {
+
+namespace {
+
+// Domain-separation tag folded into the chaos seed so chaos streams never
+// collide with the network's NodeRng(engine_seed, node_id) streams even
+// when the operator passes the same seed for both.
+constexpr uint64_t kChaosStreamTag = 0x43484153'2d494e4aULL;  // "CHAS-INJ"
+
+bool Contains(const std::vector<net::NodeId>& nodes, net::NodeId id) {
+  return std::find(nodes.begin(), nodes.end(), id) != nodes.end();
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDrop:
+      return "drop";
+    case FaultKind::kBurst:
+      return "burst";
+    case FaultKind::kDuplicate:
+      return "duplicate";
+    case FaultKind::kDelay:
+      return "delay";
+    case FaultKind::kCorrupt:
+      return "corrupt";
+  }
+  return "unknown";
+}
+
+ChaosConfig MakeFaultScenario(FaultKind kind, uint64_t seed, double rate) {
+  ChaosConfig config;
+  config.seed = seed;
+  switch (kind) {
+    case FaultKind::kDrop:
+      config.drop_probability = rate;
+      break;
+    case FaultKind::kBurst:
+      config.burst_start_probability = rate;
+      config.burst_length = 4;
+      break;
+    case FaultKind::kDuplicate:
+      config.duplicate_probability = rate;
+      config.max_duplicates = 2;
+      break;
+    case FaultKind::kDelay:
+      config.delay_spike_probability = rate;
+      config.delay_spike_mean = 2 * kSecond;
+      break;
+    case FaultKind::kCorrupt:
+      config.corrupt_probability = rate;
+      config.max_bit_flips = 3;
+      break;
+  }
+  return config;
+}
+
+ChaosInjector::ChaosInjector(ChaosConfig config) : config_(config) {}
+
+void ChaosInjector::AttachTo(net::Network* network) {
+  network_ = network;
+  // Node ids are dense and start at 1, so index sender state by id. A
+  // fresh AttachTo resets every stream: re-attaching before a rerun
+  // replays the identical fault schedule.
+  senders_.assign(network->num_nodes() + 1, SenderState{});
+  uint64_t mix = config_.seed ^ kChaosStreamTag;
+  uint64_t base = SplitMix64(&mix);
+  for (size_t id = 0; id < senders_.size(); ++id) {
+    senders_[id].rng = NodeRng(base, id);
+  }
+  network->set_fault_injector(this);
+}
+
+void ChaosInjector::Detach() {
+  if (network_ != nullptr && network_->fault_injector() == this) {
+    network_->set_fault_injector(nullptr);
+  }
+  network_ = nullptr;
+}
+
+bool ChaosInjector::InOutage(const net::Message& msg, SimTime now) const {
+  for (const OutageWindow& w : config_.outages) {
+    if (now < w.start || now >= w.end) continue;
+    if (w.nodes.empty()) return true;
+    bool from_in = Contains(w.nodes, msg.from);
+    bool to_in = Contains(w.nodes, msg.to);
+    if (w.partition_only ? (from_in != to_in) : (from_in || to_in)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+net::FaultVerdict ChaosInjector::OnSend(net::Message& msg, SimTime now) {
+  net::FaultVerdict verdict;
+  // Nodes registered after AttachTo have no chaos stream; leave their
+  // traffic untouched rather than invent one mid-run.
+  if (msg.from >= senders_.size()) return verdict;
+
+  // Fixed evaluation order — outage (no draw), burst countdown (no draw),
+  // then one optional draw per enabled knob: drop, burst start, duplicate,
+  // delay spike, corrupt. Early drop returns skip the later draws; that is
+  // still deterministic because each sender's message sequence (and hence
+  // its decision sequence) is itself deterministic.
+  if (InOutage(msg, now)) {
+    verdict.drop = true;
+    return verdict;
+  }
+  SenderState& st = senders_[msg.from];
+  if (st.burst_remaining > 0) {
+    --st.burst_remaining;
+    verdict.drop = true;
+    return verdict;
+  }
+  NodeRng& rng = st.rng;
+  if (config_.drop_probability > 0 &&
+      rng.NextBernoulli(config_.drop_probability)) {
+    verdict.drop = true;
+    return verdict;
+  }
+  if (config_.burst_start_probability > 0 && config_.burst_length > 0 &&
+      rng.NextBernoulli(config_.burst_start_probability)) {
+    // This message is the burst's first casualty.
+    st.burst_remaining = config_.burst_length - 1;
+    verdict.drop = true;
+    return verdict;
+  }
+  if (config_.duplicate_probability > 0 && config_.max_duplicates > 0 &&
+      rng.NextBernoulli(config_.duplicate_probability)) {
+    verdict.duplicates =
+        1 + static_cast<uint32_t>(
+                config_.max_duplicates > 1 ? rng.NextBelow(config_.max_duplicates)
+                                           : 0);
+  }
+  if (config_.delay_spike_probability > 0 && config_.delay_spike_mean > 0 &&
+      rng.NextBernoulli(config_.delay_spike_probability)) {
+    double rate = 1.0 / static_cast<double>(config_.delay_spike_mean);
+    verdict.extra_latency = static_cast<SimDuration>(rng.NextExponential(rate));
+    // An exponential draw can truncate to 0 µs; keep the spike observable
+    // (and counted) by flooring it at one tick.
+    if (verdict.extra_latency == 0) verdict.extra_latency = 1;
+  }
+  if (config_.corrupt_probability > 0 && !msg.payload.empty() &&
+      rng.NextBernoulli(config_.corrupt_probability)) {
+    uint32_t flips =
+        1 + static_cast<uint32_t>(
+                config_.max_bit_flips > 1 ? rng.NextBelow(config_.max_bit_flips)
+                                          : 0);
+    for (uint32_t i = 0; i < flips; ++i) {
+      uint64_t bit = rng.NextBelow(msg.payload.size() * 8);
+      msg.payload[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    }
+    verdict.corrupted = true;
+  }
+  return verdict;
+}
+
+}  // namespace edgelet::chaos

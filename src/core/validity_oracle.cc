@@ -1,0 +1,41 @@
+#include "core/validity_oracle.h"
+
+namespace edgelet::core {
+
+const char* TrialVerdictName(TrialVerdict verdict) {
+  switch (verdict) {
+    case TrialVerdict::kValid:
+      return "valid";
+    case TrialVerdict::kInvalid:
+      return "invalid";
+    case TrialVerdict::kFailedSafe:
+      return "failed-safe";
+  }
+  return "unknown";
+}
+
+Result<OracleReport> ValidityOracle::Audit(
+    const exec::Deployment& deployment,
+    const exec::ExecutionReport& report) const {
+  if (deployment.query.kind != query::QueryKind::kGroupingSets) {
+    return Status::InvalidArgument(
+        "validity oracle only audits Grouping Sets executions");
+  }
+  OracleReport out;
+  if (!report.success) {
+    // No result delivered: the failure is visible to the querier, which is
+    // exactly the safe failure mode the invariant permits.
+    out.verdict = TrialVerdict::kFailedSafe;
+    out.detail = "no result before the deadline";
+    return out;
+  }
+  auto validity = framework_->VerifyGroupingSets(deployment, report);
+  if (!validity.ok()) return validity.status();
+  out.validity = *validity;
+  out.verdict =
+      validity->valid ? TrialVerdict::kValid : TrialVerdict::kInvalid;
+  out.detail = validity->detail;
+  return out;
+}
+
+}  // namespace edgelet::core

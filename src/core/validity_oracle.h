@@ -1,0 +1,54 @@
+#ifndef EDGELET_CORE_VALIDITY_ORACLE_H_
+#define EDGELET_CORE_VALIDITY_ORACLE_H_
+
+#include <string>
+
+#include "core/framework.h"
+
+namespace edgelet::core {
+
+// Classification of one trial under fault injection. The paper's validity
+// invariant is that kInvalid never occurs: an execution either delivers
+// the centrally-recomputable answer (kValid) or visibly fails to deliver
+// one at all (kFailedSafe) — it must never *succeed with a wrong answer*.
+enum class TrialVerdict {
+  kValid,       // delivered, and equal to the centralized reference
+  kInvalid,     // delivered, but diverges from the reference — a safety bug
+  kFailedSafe,  // did not deliver a result before the deadline
+};
+
+const char* TrialVerdictName(TrialVerdict verdict);
+
+struct OracleReport {
+  TrialVerdict verdict = TrialVerdict::kFailedSafe;
+  // The underlying table comparison; meaningful when the execution
+  // succeeded (rows_compared / max_abs_error / mismatch detail).
+  ValidityReport validity;
+  std::string detail;
+};
+
+// Audits a distributed execution against a centralized rerun of the same
+// deployed query over the exact crowd sample the execution recorded
+// (ExecutionReport::snapshot_contributors_by_vgroup). This is the trial
+// classifier behind the chaos matrix: every fault scenario must land each
+// trial in kValid or kFailedSafe, never kInvalid.
+class ValidityOracle {
+ public:
+  // The framework must outlive the oracle and be the one that produced the
+  // reports being audited (it owns the population the rerun reads).
+  explicit ValidityOracle(const EdgeletFramework* framework)
+      : framework_(framework) {}
+
+  // Classifies one trial. Errors (not verdicts) are reserved for audits
+  // that cannot run at all: a non-Grouping-Sets query, or a report whose
+  // recorded snapshot does not match the deployment shape.
+  Result<OracleReport> Audit(const exec::Deployment& deployment,
+                             const exec::ExecutionReport& report) const;
+
+ private:
+  const EdgeletFramework* framework_;
+};
+
+}  // namespace edgelet::core
+
+#endif  // EDGELET_CORE_VALIDITY_ORACLE_H_

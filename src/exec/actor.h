@@ -11,6 +11,16 @@
 
 namespace edgelet::exec {
 
+// Exponential-backoff schedule shared by every emission path that re-sends
+// over the uncertain links: resend i (1-based) fires ((2^i) - 1) * base
+// after the original send — base, 3*base, 7*base, ... Early retries cover
+// a single lost message cheaply; later ones wait out longer outages
+// instead of assuming a fixed resend beat is a liveness guarantee.
+inline SimDuration ResendBackoffDelay(int resend_index, SimDuration base) {
+  int shift = resend_index < 20 ? resend_index : 20;  // clamp: no overflow
+  return ((SimDuration{1} << shift) - 1) * base;
+}
+
 // One protocol role bound to one device for the duration of a query.
 class ActorBase {
  public:

@@ -1,5 +1,7 @@
 #include "exec/combiner.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "ml/metrics.h"
 
@@ -38,10 +40,29 @@ void CombinerActor::HandleMessage(const net::Message& msg) {
 }
 
 void CombinerActor::OnGsPartial(const net::Message& msg) {
-  if (result_ready_ || combining_) return;
+  // Keep accepting partials while a combine is in flight (combining_):
+  // if that combine fails, a spare partition that arrived meanwhile is
+  // exactly what the retry needs.
+  if (result_ready_) return;
   if (!OpenSealed(msg).ok()) return;
   auto partial = GsPartialMsg::Decode(opened_payload());
   if (!partial.ok() || partial->query_id != config_.query_id) return;
+  // Wire fields are attacker-visible inputs even after AEAD (a compromised
+  // processor seals what it likes): an out-of-range vgroup would both
+  // satisfy the completion count and index out of bounds in
+  // CombineAndEmitGs; an out-of-range partition would grow state forever.
+  if (partial->vgroup >= config_.num_vgroups) {
+    EDGELET_LOG(kWarning) << "combiner: rejecting partial with vgroup "
+                          << partial->vgroup << " >= " << config_.num_vgroups;
+    return;
+  }
+  if (config_.total_partitions > 0 &&
+      partial->partition >= static_cast<uint32_t>(config_.total_partitions)) {
+    EDGELET_LOG(kWarning) << "combiner: rejecting partial with partition "
+                          << partial->partition << " >= "
+                          << config_.total_partitions;
+    return;
+  }
 
   PartitionState& state = partitions_[partial->partition];
   if (state.complete) return;
@@ -75,7 +96,11 @@ void CombinerActor::MaybeCombineGs() {
 }
 
 void CombinerActor::CombineAndEmitGs() {
-  query::GroupingSetsResult acc;
+  // Anchor the accumulator to the deployed spec: a poisoned partial
+  // carrying a different spec then fails *its own* merge (a default
+  // accumulator would adopt whatever spec it merges first, misattributing
+  // the failure to the honest partitions that follow).
+  query::GroupingSetsResult acc(config_.gs_spec);
   merged_partitions_.clear();
   for (int i = 0; i < config_.n_needed; ++i) {
     uint32_t p = complete_order_[i];
@@ -86,6 +111,7 @@ void CombinerActor::CombineAndEmitGs() {
       Status s = acc.Merge(epoch_partial.second);
       if (!s.ok()) {
         EDGELET_LOG(kError) << "combiner merge failed: " << s.ToString();
+        EvictPoisonedPartition(p);
         return;
       }
     }
@@ -95,6 +121,9 @@ void CombinerActor::CombineAndEmitGs() {
   if (!table.ok()) {
     EDGELET_LOG(kError) << "combiner finalize failed: "
                         << table.status().ToString();
+    // Finalize cannot name a culprit; evict the most recently completed of
+    // the merged partitions and retry with whatever replaces it.
+    EvictPoisonedPartition(complete_order_[config_.n_needed - 1]);
     return;
   }
   pending_result_ = std::move(*table);
@@ -102,6 +131,30 @@ void CombinerActor::CombineAndEmitGs() {
   if (config_.active_emit || replica_->is_leader()) {
     EmitWithResends();
   }
+}
+
+void CombinerActor::EvictPoisonedPartition(uint32_t partition) {
+  // Before this recovery existed the combiner wedged here forever:
+  // combining_ stayed true, so the m spare partitions Overcollection pays
+  // for could never be consumed. Forget the partition entirely — a
+  // re-delivered clean partial may rebuild it from scratch — and retry
+  // with the remaining complete partitions plus any spare.
+  EDGELET_LOG(kWarning) << "combiner: evicting poisoned partition "
+                        << partition << ", "
+                        << (complete_order_.size() - 1)
+                        << " complete partitions remain";
+  partitions_.erase(partition);
+  complete_order_.erase(
+      std::remove(complete_order_.begin(), complete_order_.end(), partition),
+      complete_order_.end());
+  merged_partitions_.clear();
+  combining_ = false;
+  if (config_.trace != nullptr) {
+    config_.trace->Record(sim()->now(), TraceEventKind::kPartitionComplete,
+                          dev()->id(), static_cast<int>(partition), -1,
+                          "evicted after failed combine");
+  }
+  MaybeCombineGs();
 }
 
 void CombinerActor::EmitPending() {
@@ -193,9 +246,14 @@ void CombinerActor::CombineAndEmitKm() {
 void CombinerActor::EmitWithResends() {
   SendResult(pending_result_);
   for (int i = 1; i <= config_.result_resends; ++i) {
-    sim()->ScheduleAfter(dev()->id(), 
-        static_cast<SimDuration>(i) * config_.resend_interval, [this]() {
-          if (result_ready_) SendResult(pending_result_);
+    sim()->ScheduleAfter(dev()->id(), ResendBackoffDelay(i, config_.resend_interval),
+        [this]() {
+          // A standby that yielded leadership between scheduling and firing
+          // must go quiet even with a result pending — otherwise both the
+          // new leader and the ex-leader keep emitting duplicates.
+          if (result_ready_ && (config_.active_emit || replica_->is_leader())) {
+            SendResult(pending_result_);
+          }
         });
   }
 }

@@ -34,6 +34,10 @@ class CombinerActor : public ActorBase {
     Mode mode = Mode::kGroupingSets;
     int n_needed = 1;
     uint32_t num_vgroups = 1;
+    // Total partitions the plan deployed (n + m). Wire partials naming a
+    // partition at or past this are malformed and rejected; 0 disables the
+    // check (unit tests that exercise the combiner without a plan).
+    int total_partitions = 0;
     query::GroupingSetsSpec gs_spec;
     query::KMeansQuerySpec km_spec;
     std::vector<net::NodeId> querier_targets;
@@ -57,6 +61,7 @@ class CombinerActor : public ActorBase {
 
   bool emitted() const { return emitted_; }
   size_t partitions_complete() const { return complete_order_.size(); }
+  bool replica_is_leader() const { return replica_->is_leader(); }
 
  protected:
   void HandleMessage(const net::Message& msg) override;
@@ -76,6 +81,10 @@ class CombinerActor : public ActorBase {
   void OnKmFinal(const net::Message& msg);
   void MaybeCombineGs();
   void CombineAndEmitGs();
+  // Recovery from a failed combine: forget the partition whose partial
+  // poisoned the merge so a spare overcollected partition (or a clean
+  // re-delivery) can take its place, then retry.
+  void EvictPoisonedPartition(uint32_t partition);
   void EmitPending();
   void OnEmitTimer();
   void CombineAndEmitKm();

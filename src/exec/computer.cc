@@ -113,9 +113,12 @@ void ComputerActor::ComputeAndEmitGs() {
 void ComputerActor::EmitGsWithResends() {
   EmitGs();
   for (int i = 1; i <= config_.emission_resends; ++i) {
-    sim()->ScheduleAfter(dev()->id(), 
-        static_cast<SimDuration>(i) * config_.resend_interval,
-        [this]() { EmitGs(); });
+    sim()->ScheduleAfter(dev()->id(), ResendBackoffDelay(i, config_.resend_interval),
+        [this]() {
+          // Suppressed after a leadership yield: the replica that took
+          // over re-emits its own partial.
+          if (replica_->is_leader()) EmitGs();
+        });
   }
 }
 
@@ -272,10 +275,11 @@ void ComputerActor::EmitKmFinal() {
   SealAndSendAll(config_.combiners, kKmFinal, msg.Encode());
   for (int i = 1; i <= config_.emission_resends; ++i) {
     Bytes payload = msg.Encode();
-    sim()->ScheduleAfter(dev()->id(), 
-        static_cast<SimDuration>(i) * config_.resend_interval,
+    sim()->ScheduleAfter(dev()->id(), ResendBackoffDelay(i, config_.resend_interval),
         [this, payload]() {
-          SealAndSendAll(config_.combiners, kKmFinal, payload);
+          if (replica_->is_leader()) {
+            SealAndSendAll(config_.combiners, kKmFinal, payload);
+          }
         });
   }
   output_sent_ = true;

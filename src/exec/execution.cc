@@ -230,6 +230,7 @@ Status QueryExecution::BuildCombiners() {
     cfg.mode = kmeans ? CombinerActor::Mode::kKMeans
                       : CombinerActor::Mode::kGroupingSets;
     cfg.n_needed = deployment_.n;
+    cfg.total_partitions = deployment_.n + deployment_.m;
     cfg.num_vgroups =
         static_cast<uint32_t>(deployment_.vgroup_columns.size());
     cfg.gs_spec = query.grouping_sets;

@@ -1,6 +1,9 @@
 #include "exec/replica.h"
 
 #include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.h"
 
 namespace edgelet::exec {
 
@@ -9,11 +12,31 @@ ReplicaRole::ReplicaRole(net::SimEngine* sim, device::Device* dev,
     : sim_(sim), dev_(dev), config_(std::move(config)) {
   auto it = std::find(config_.members.begin(), config_.members.end(),
                       dev_->id());
+  if (it == config_.members.end()) {
+    // A device outside its own member list would silently get
+    // rank_ == members.size(): it never pings, never counts as a lower
+    // rank for anyone, and never promotes — a dead replica that looks
+    // alive. Surface the planner bug instead of simulating around it.
+    misconfigured_ = true;
+    rank_ = static_cast<uint32_t>(config_.members.size());
+    EDGELET_LOG(kError) << "ReplicaRole: device " << dev_->id()
+                        << " is not in the member list of replica group "
+                        << config_.group_id << " (size "
+                        << config_.members.size() << ")";
+    return;
+  }
   rank_ = static_cast<uint32_t>(it - config_.members.begin());
   believes_leader_ = (rank_ == 0);
 }
 
 void ReplicaRole::Start() {
+  if (misconfigured_) {
+    EDGELET_LOG(kError) << "ReplicaRole: refusing to start device "
+                        << dev_->id() << " in replica group "
+                        << config_.group_id
+                        << ": not a member (planner misconfiguration)";
+    std::abort();
+  }
   if (config_.members.size() <= 1) return;  // singleton: silent leader
   last_lower_ping_ = sim_->now();
   Tick();
@@ -56,15 +79,12 @@ void ReplicaRole::Tick() {
 
 void ReplicaRole::HandlePing(const LeaderPingMsg& ping) {
   if (ping.group_id != config_.group_id) return;
-  if (ping.rank < rank_) {
-    last_lower_ping_ = sim_->now();
-    if (believes_leader_ && ping.rank < rank_) {
-      // A lower-ranked replica is alive again; yield leadership to avoid
-      // long-term duplicate emission (duplicates are deduplicated
-      // downstream anyway, but yielding reduces traffic).
-      believes_leader_ = false;
-    }
-  }
+  if (ping.rank >= rank_) return;
+  last_lower_ping_ = sim_->now();
+  // A lower-ranked replica is alive; yield leadership (if held) to avoid
+  // long-term duplicate emission (duplicates are deduplicated downstream
+  // anyway, but yielding reduces traffic).
+  believes_leader_ = false;
 }
 
 }  // namespace edgelet::exec

@@ -34,7 +34,14 @@ class ReplicaRole {
 
   ReplicaRole(net::SimEngine* sim, device::Device* dev, Config config);
 
+  // Aborts the process if the role is misconfigured (see misconfigured()):
+  // a replica that can neither ping nor promote must not run.
   void Start();
+
+  // True when the owning device is absent from config.members — a planner
+  // bug that previously went silent (the device got rank == members.size()
+  // and simply never participated).
+  bool misconfigured() const { return misconfigured_; }
 
   uint32_t rank() const { return rank_; }
   bool is_leader() const { return believes_leader_; }
@@ -54,6 +61,7 @@ class ReplicaRole {
   device::Device* dev_;
   Config config_;
   uint32_t rank_ = 0;
+  bool misconfigured_ = false;
   bool believes_leader_ = false;
   bool promoted_fired_ = false;
   SimTime last_lower_ping_ = 0;

@@ -90,9 +90,12 @@ void SnapshotBuilderActor::MaybeEmit() {
 void SnapshotBuilderActor::EmitSliceWithResends() {
   EmitSlice();
   for (int i = 1; i <= config_.emission_resends; ++i) {
-    sim()->ScheduleAfter(dev()->id(), 
-        static_cast<SimDuration>(i) * config_.resend_interval,
-        [this]() { EmitSlice(); });
+    sim()->ScheduleAfter(dev()->id(), ResendBackoffDelay(i, config_.resend_interval),
+        [this]() {
+          // Suppressed after a leadership yield: the replica that took
+          // over re-emits its own epoch's slice.
+          if (replica_->is_leader()) EmitSlice();
+        });
   }
 }
 

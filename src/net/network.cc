@@ -65,17 +65,51 @@ void Network::Send(Message msg) {
     Recycle(std::move(msg));
     return;
   }
-  // Loss and latency are the sender's draws: Send runs in the sender's
+  NodeRng& rng = from_it->second.rng;
+
+  // Chaos layer first: the injector sees the message as the sender emits
+  // it, in the sender's event context (per-sender streams keep the verdict
+  // independent of shard count). Its extra copies then pass through the
+  // same loss/latency model as the original, each with its own draws.
+  SimDuration extra_latency = 0;
+  if (injector_ != nullptr) {
+    FaultVerdict verdict = injector_->OnSend(msg, engine_->now());
+    if (verdict.corrupted) ++stats.chaos_corrupted;
+    if (verdict.extra_latency > 0) ++stats.chaos_delayed;
+    if (verdict.drop) {
+      ++stats.chaos_dropped;
+      Recycle(std::move(msg));
+      return;
+    }
+    extra_latency = verdict.extra_latency;
+    for (uint32_t i = 0; i < verdict.duplicates; ++i) {
+      ++stats.chaos_duplicates;
+      Message copy;
+      copy.from = msg.from;
+      copy.to = msg.to;
+      copy.type = msg.type;
+      copy.seq = msg.seq;  // an exact wire replay, like a mailbox echo
+      copy.payload = AcquirePayloadBuffer();
+      copy.payload.assign(msg.payload.begin(), msg.payload.end());
+      SampleAndDispatch(std::move(copy), rng, extra_latency, stats);
+    }
+  }
+  SampleAndDispatch(std::move(msg), rng, extra_latency, stats);
+}
+
+void Network::SampleAndDispatch(Message msg, NodeRng& rng,
+                                SimDuration extra_latency,
+                                NetworkStats& stats) {
+  // Loss and latency are the sender's draws: this runs in the sender's
   // event context, so only the sender's shard touches this stream. The
   // receiver's liveness is checked at delivery time, on its own shard.
-  NodeRng& rng = from_it->second.rng;
   if (config_.drop_probability > 0 &&
       rng.NextBernoulli(config_.drop_probability)) {
     ++stats.dropped_random;
     Recycle(std::move(msg));
     return;
   }
-  SimDuration latency = config_.latency.Sample(rng);
+  SimDuration latency = config_.latency.Sample(rng) + extra_latency;
   if (config_.bytes_per_second > 0) {
     // Serialization delay: payload bytes over the link throughput.
     double seconds = static_cast<double>(msg.WireSize()) /
@@ -190,6 +224,10 @@ NetworkStats Network::stats() const {
     total.bytes_sent += s.stats.bytes_sent;
     total.bytes_delivered += s.stats.bytes_delivered;
     total.payload_buffers_reused += s.stats.payload_buffers_reused;
+    total.chaos_dropped += s.stats.chaos_dropped;
+    total.chaos_duplicates += s.stats.chaos_duplicates;
+    total.chaos_corrupted += s.stats.chaos_corrupted;
+    total.chaos_delayed += s.stats.chaos_delayed;
   }
   return total;
 }

@@ -68,6 +68,36 @@ struct NetworkStats {
   // Payload-pool telemetry: reuses counts acquisitions served from the
   // pool rather than by a fresh allocation.
   uint64_t payload_buffers_reused = 0;
+  // Fault-injection telemetry (src/chaos): messages swallowed, extra
+  // copies injected, payloads bit-flipped, and deliveries delay-spiked by
+  // the attached FaultInjector.
+  uint64_t chaos_dropped = 0;
+  uint64_t chaos_duplicates = 0;
+  uint64_t chaos_corrupted = 0;
+  uint64_t chaos_delayed = 0;
+};
+
+// Verdict of the fault-injection layer for one outgoing message. The
+// injector may additionally mutate the payload in place (bit flips); it
+// reports that through `corrupted` so the network can count it.
+struct FaultVerdict {
+  bool drop = false;
+  // Extra copies to put in flight (each samples its own loss/latency, so a
+  // duplicate can overtake the original: duplication plus reordering).
+  uint32_t duplicates = 0;
+  // Added to every copy's sampled latency (latency spike / reordering).
+  SimDuration extra_latency = 0;
+  bool corrupted = false;
+};
+
+// Hook for the deterministic chaos layer (src/chaos). OnSend runs in the
+// sender's event context — under the parallel engine that means on the
+// sender's shard — so implementations must draw randomness only from
+// per-sender counter-based streams and touch only per-sender state.
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+  virtual FaultVerdict OnSend(Message& msg, SimTime now) = 0;
 };
 
 // Simulated communication fabric between edgelets. Delivery is
@@ -109,6 +139,14 @@ class Network {
   SimEngine* engine() { return engine_; }
   size_t num_nodes() const { return nodes_.size(); }
 
+  // Attaches (or detaches, with nullptr) the fault-injection layer. The
+  // injector is consulted on every send from a live sender, in the
+  // sender's event context, and may drop, duplicate, delay, or corrupt the
+  // message before the network's own loss/latency model applies. Attach
+  // between runs only (not from inside an event callback).
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() const { return injector_; }
+
   // --- Payload buffer pool ----------------------------------------------
   // Message payloads cycle sender -> network -> receiver -> pool: a sender
   // seals into an acquired buffer, and the network returns the buffer to
@@ -139,6 +177,10 @@ class Network {
   };
 
   void Deliver(Message msg);
+  // Applies the network's own loss/latency model to one in-flight copy and
+  // schedules its delivery. `extra_latency` is the chaos layer's spike.
+  void SampleAndDispatch(Message msg, NodeRng& rng, SimDuration extra_latency,
+                         NetworkStats& stats);
   void ScheduleChurnTransition(NodeId id);
   void FlushMailbox(NodeId id);
   // A consumed message's payload goes back to the pool.
@@ -149,6 +191,7 @@ class Network {
 
   SimEngine* engine_;
   NetworkConfig config_;
+  FaultInjector* injector_ = nullptr;
   std::unordered_map<NodeId, NodeState> nodes_;
   NodeId next_id_ = 1;
   std::vector<ShardState> shard_;

@@ -330,5 +330,199 @@ TEST_F(ActorTest, CombinerIgnoresDuplicateVgroupPartials) {
   EXPECT_EQ(querier.result().result.row(0)[*count_idx].AsInt64(), 1);
 }
 
+TEST_F(ActorTest, CombinerEvictsPoisonedPartitionAndUsesSpare) {
+  device::Device* comb_dev = NewDevice();
+  device::Device* querier_dev = NewDevice();
+  device::Device* comp_dev = NewDevice();
+  QuerierActor querier(&sim_, querier_dev, 1);
+
+  CombinerActor::Config cfg;
+  cfg.query_id = 1;
+  cfg.mode = CombinerActor::Mode::kGroupingSets;
+  cfg.n_needed = 2;
+  cfg.num_vgroups = 1;
+  cfg.total_partitions = 3;  // n=2 plus one spare
+  cfg.gs_spec = MiniSpec();
+  cfg.querier_targets = {querier_dev->id()};
+  cfg.emit_at = kSimTimeNever;
+  cfg.active_emit = true;
+  cfg.result_resends = 0;
+  cfg.replica = Singleton(comb_dev);
+  CombinerActor combiner(&sim_, comb_dev, cfg);
+  combiner.Start();
+
+  // Partition 0 completes first with a partial whose spec cannot merge
+  // with the deployed one — the forced merge failure that used to wedge
+  // the combiner forever (combining_ stayed set, spares unreachable).
+  query::GroupingSetsSpec poison_spec{
+      {{"region"}}, {{query::AggregateFunction::kCount, "*"}}};
+  data::Table pt(MiniSchema());
+  pt.AppendUnchecked({data::Value("north"), data::Value(1.0)});
+  auto poison = query::GroupingSetsResult::Compute(pt, poison_spec);
+  ASSERT_TRUE(poison.ok());
+  GsPartialMsg bad;
+  bad.query_id = 1;
+  bad.partition = 0;
+  bad.vgroup = 0;
+  bad.epoch = 0;
+  bad.result = *poison;
+  ASSERT_TRUE(
+      comp_dev->SendSealed(comb_dev->id(), kGsPartial, bad.Encode()).ok());
+  sim_.RunUntil(5 * kSecond);
+
+  auto send_good = [&](uint32_t partition, double bmi) {
+    data::Table t(MiniSchema());
+    t.AppendUnchecked({data::Value("north"), data::Value(bmi)});
+    auto result = query::GroupingSetsResult::Compute(t, MiniSpec());
+    ASSERT_TRUE(result.ok());
+    GsPartialMsg msg;
+    msg.query_id = 1;
+    msg.partition = partition;
+    msg.vgroup = 0;
+    msg.epoch = 0;
+    msg.result = std::move(*result);
+    ASSERT_TRUE(
+        comp_dev->SendSealed(comb_dev->id(), kGsPartial, msg.Encode()).ok());
+  };
+  // Partition 1 completes: n=2 reached with {0, 1}; the combine fails on
+  // the poison, evicts partition 0, and waits for a replacement.
+  send_good(1, 10.0);
+  sim_.RunUntil(10 * kSecond);
+  EXPECT_FALSE(querier.has_result());
+  EXPECT_EQ(combiner.partitions_complete(), 1u);  // poison evicted
+
+  // The spare (partition 2) arrives and takes the evicted slot.
+  send_good(2, 20.0);
+  sim_.RunUntil(kMinute);
+
+  ASSERT_TRUE(querier.has_result());
+  EXPECT_EQ(querier.result().partitions, (std::vector<uint32_t>{1, 2}));
+  auto avg_idx = querier.result().result.schema().IndexOf("AVG(bmi)");
+  ASSERT_TRUE(avg_idx.ok());
+  EXPECT_DOUBLE_EQ(querier.result().result.row(0)[*avg_idx].AsDouble(), 15.0);
+}
+
+TEST_F(ActorTest, CombinerRejectsOutOfRangeWireFields) {
+  device::Device* comb_dev = NewDevice();
+  device::Device* querier_dev = NewDevice();
+  device::Device* comp_dev = NewDevice();
+  QuerierActor querier(&sim_, querier_dev, 1);
+
+  CombinerActor::Config cfg;
+  cfg.query_id = 1;
+  cfg.mode = CombinerActor::Mode::kGroupingSets;
+  cfg.n_needed = 1;
+  cfg.num_vgroups = 2;
+  cfg.total_partitions = 2;
+  cfg.gs_spec = MiniSpec();
+  cfg.querier_targets = {querier_dev->id()};
+  cfg.emit_at = kSimTimeNever;
+  cfg.active_emit = true;
+  cfg.result_resends = 0;
+  cfg.replica = Singleton(comb_dev);
+  CombinerActor combiner(&sim_, comb_dev, cfg);
+  combiner.Start();
+
+  auto send_partial = [&](uint32_t partition, uint32_t vgroup) {
+    data::Table t(MiniSchema());
+    t.AppendUnchecked({data::Value("north"), data::Value(10.0)});
+    auto result = query::GroupingSetsResult::Compute(t, MiniSpec());
+    ASSERT_TRUE(result.ok());
+    GsPartialMsg msg;
+    msg.query_id = 1;
+    msg.partition = partition;
+    msg.vgroup = vgroup;
+    msg.epoch = 0;
+    msg.result = std::move(*result);
+    ASSERT_TRUE(
+        comp_dev->SendSealed(comb_dev->id(), kGsPartial, msg.Encode()).ok());
+  };
+  // Two out-of-range vgroups for partition 0: before validation these two
+  // distinct keys satisfied by_vgroup.size() == num_vgroups (completing
+  // the partition with garbage) and then wrote epochs[5] out of bounds.
+  send_partial(0, 5);
+  send_partial(0, 7);
+  // And a partial naming a partition the plan never deployed.
+  send_partial(9, 0);
+  sim_.RunUntil(30 * kSecond);
+  EXPECT_FALSE(querier.has_result());
+  EXPECT_EQ(combiner.partitions_complete(), 0u);
+
+  // Honest partials still complete the partition and emit.
+  send_partial(0, 0);
+  send_partial(0, 1);
+  sim_.RunUntil(kMinute);
+  EXPECT_TRUE(querier.has_result());
+}
+
+TEST_F(ActorTest, StandbyCombinerStopsResendsAfterYieldingLeadership) {
+  device::Device* leader_dev = NewDevice();
+  device::Device* standby_dev = NewDevice();
+  device::Device* querier_dev = NewDevice();
+  device::Device* comp_dev = NewDevice();
+  QuerierActor querier(&sim_, querier_dev, 1);
+
+  // leader_dev carries a bare ReplicaRole (rank 0); the combiner under
+  // test is the rank-1 standby in Backup mode (only the leader emits).
+  ReplicaRole::Config group;
+  group.group_id = 1;
+  group.members = {leader_dev->id(), standby_dev->id()};
+  group.ping_period = 2 * kSecond;
+  group.failover_timeout = 5 * kSecond;
+  group.stop_at = 10 * kMinute;
+  ReplicaRole leader_role(&sim_, leader_dev, group);
+  leader_dev->set_message_handler([&leader_role](const net::Message& msg) {
+    if (msg.type != kLeaderPing) return;
+    auto ping = LeaderPingMsg::Decode(msg.payload);
+    if (ping.ok()) leader_role.HandlePing(*ping);
+  });
+  leader_role.Start();
+
+  CombinerActor::Config cfg;
+  cfg.query_id = 1;
+  cfg.mode = CombinerActor::Mode::kGroupingSets;
+  cfg.n_needed = 1;
+  cfg.num_vgroups = 1;
+  cfg.gs_spec = MiniSpec();
+  cfg.querier_targets = {querier_dev->id()};
+  cfg.emit_at = kSimTimeNever;
+  cfg.active_emit = false;  // Backup mode: leader-only emission
+  cfg.result_resends = 3;
+  cfg.resend_interval = 10 * kSecond;
+  cfg.replica = group;
+  CombinerActor standby(&sim_, standby_dev, cfg);
+  standby.Start();
+
+  // Leader goes dark; the standby promotes (~7 s), emits, and schedules
+  // backoff resends at +10 s / +30 s / +70 s.
+  sim_.ScheduleAt(kSecond,
+                  [&]() { network_.SetOnline(leader_dev->id(), false); });
+  data::Table t(MiniSchema());
+  t.AppendUnchecked({data::Value("north"), data::Value(10.0)});
+  auto partial = query::GroupingSetsResult::Compute(t, MiniSpec());
+  ASSERT_TRUE(partial.ok());
+  GsPartialMsg msg;
+  msg.query_id = 1;
+  msg.partition = 0;
+  msg.vgroup = 0;
+  msg.epoch = 0;
+  msg.result = *partial;
+  ASSERT_TRUE(
+      comp_dev->SendSealed(standby_dev->id(), kGsPartial, msg.Encode()).ok());
+
+  // The leader returns before the second resend: its pings make the
+  // standby yield, and every still-scheduled resend must go quiet — the
+  // old code kept firing them for as long as result_ready_ held.
+  sim_.ScheduleAt(20 * kSecond,
+                  [&]() { network_.SetOnline(leader_dev->id(), true); });
+  sim_.RunUntil(5 * kMinute);
+
+  ASSERT_TRUE(querier.has_result());
+  EXPECT_FALSE(standby.replica_is_leader());
+  // First emission (~7 s) plus the one resend (~17 s) that fired while
+  // still leader; the +30 s / +70 s resends were suppressed.
+  EXPECT_EQ(querier.duplicates(), 1u);
+}
+
 }  // namespace
 }  // namespace edgelet::exec

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include "core/framework.h"
+#include "core/validity_oracle.h"
+#include "exec/protocol.h"
 
 namespace edgelet::core {
 namespace {
@@ -159,6 +161,92 @@ TEST(FailurePathsTest, QuerierReceivesDuplicatesFromActiveBackup) {
   // Two active combiners each emit (plus re-emissions): everything beyond
   // the first accepted delivery is counted as a deduplicated duplicate.
   EXPECT_GE(report->duplicate_results, 1u);
+}
+
+TEST(FailurePathsTest, OutOfRangeWirePartialsCannotCorruptTheResult) {
+  // A compromised processor seals partials with garbage wire fields: a
+  // vgroup past num_vgroups (which used to both satisfy the completion
+  // count and write out of bounds via epochs[vg]) and a partition the plan
+  // never deployed. Both must be rejected at the combiner; the execution
+  // must still deliver the honest — and centrally verifiable — answer.
+  FrameworkConfig cfg;
+  cfg.fleet.num_contributors = 100;
+  cfg.fleet.num_processors = 30;
+  cfg.fleet.enable_churn = false;
+  cfg.seed = 3;
+  EdgeletFramework fw(cfg);
+  ASSERT_TRUE(fw.Init().ok());
+  auto d = fw.Plan(MiniQuery(), {}, {0.1, 0.99}, Strategy::kOvercollection);
+  ASSERT_TRUE(d.ok());
+
+  // Junk rows under the *correct* spec, so a combiner that accepted them
+  // would merge them cleanly into a wrong (but successful) result.
+  data::Table junk(data::Schema({{"region", data::ValueType::kString}}));
+  junk.AppendUnchecked({data::Value("nowhere")});
+  auto junk_result =
+      query::GroupingSetsResult::Compute(junk, d->query.grouping_sets);
+  ASSERT_TRUE(junk_result.ok());
+  device::Device* sender = fw.fleet()->by_node(d->combiner_group[0]);
+  ASSERT_NE(sender, nullptr);
+  auto send_junk = [&](uint32_t partition, uint32_t vgroup) {
+    exec::GsPartialMsg msg;
+    msg.query_id = d->query.query_id;
+    msg.partition = partition;
+    msg.vgroup = vgroup;
+    msg.epoch = 0;
+    msg.result = *junk_result;
+    Bytes payload = msg.Encode();
+    for (net::NodeId combiner : d->combiner_group) {
+      fw.sim()->ScheduleAt(
+          sender->id(), 2 * kSecond, [sender, combiner, payload]() {
+            (void)sender->SendSealed(combiner, exec::kGsPartial, payload);
+          });
+    }
+  };
+  send_junk(/*partition=*/0, /*vgroup=*/99);
+  send_junk(/*partition=*/77, /*vgroup=*/0);
+
+  exec::ExecutionConfig ec;
+  ec.collection_window = 30 * kSecond;
+  ec.deadline = 3 * kMinute;
+  ec.inject_failures = false;
+  auto report = fw.Execute(*d, ec);
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(report->success);
+  for (uint32_t p : report->partitions_used) {
+    EXPECT_LT(p, static_cast<uint32_t>(d->n + d->m));
+  }
+  ValidityOracle oracle(&fw);
+  auto audit = oracle.Audit(*d, *report);
+  ASSERT_TRUE(audit.ok());
+  EXPECT_EQ(audit->verdict, TrialVerdict::kValid) << audit->detail;
+  EXPECT_STREQ(TrialVerdictName(audit->verdict), "valid");
+}
+
+TEST(FailurePathsTest, OracleClassifiesTimeoutAsFailedSafe) {
+  // Crowd too small to fill any partition: the execution fails, and the
+  // oracle must classify that as failed-safe (the invariant's permitted
+  // failure mode), not as an audit error.
+  FrameworkConfig cfg;
+  cfg.fleet.num_contributors = 10;
+  cfg.fleet.num_processors = 20;
+  cfg.fleet.enable_churn = false;
+  EdgeletFramework fw(cfg);
+  ASSERT_TRUE(fw.Init().ok());
+  auto d = fw.Plan(MiniQuery(), {}, {0.0, 0.9}, Strategy::kOvercollection);
+  ASSERT_TRUE(d.ok());
+  exec::ExecutionConfig ec;
+  ec.collection_window = 30 * kSecond;
+  ec.deadline = 2 * kMinute;
+  ec.inject_failures = false;
+  auto report = fw.Execute(*d, ec);
+  ASSERT_TRUE(report.ok());
+  ASSERT_FALSE(report->success);
+  ValidityOracle oracle(&fw);
+  auto audit = oracle.Audit(*d, *report);
+  ASSERT_TRUE(audit.ok());
+  EXPECT_EQ(audit->verdict, TrialVerdict::kFailedSafe);
+  EXPECT_STREQ(TrialVerdictName(audit->verdict), "failed-safe");
 }
 
 TEST(FailurePathsTest, UnknownColumnsFailAtPlanTimeNotRunTime) {

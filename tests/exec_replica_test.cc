@@ -51,6 +51,7 @@ class ReplicaTest : public ::testing::Test {
 
 TEST_F(ReplicaTest, RanksFollowMemberOrder) {
   BuildGroup(3, /*stop_at=*/kMinute);
+  EXPECT_FALSE(roles_[0]->misconfigured());
   EXPECT_EQ(roles_[0]->rank(), 0u);
   EXPECT_EQ(roles_[1]->rank(), 1u);
   EXPECT_EQ(roles_[2]->rank(), 2u);
@@ -144,6 +145,34 @@ TEST_F(ReplicaTest, IgnoresPingsFromOtherGroups) {
   network_.Kill(devices_[0]->id());
   sim_.RunUntil(kMinute);
   EXPECT_TRUE(roles_[1]->is_leader());
+}
+
+TEST_F(ReplicaTest, DeviceAbsentFromMembersIsFlaggedMisconfigured) {
+  // Before the fix this device silently got rank == members.size(): it
+  // never pinged, never counted as a lower rank for anyone, and never
+  // promoted — a dead replica that looked alive.
+  auto profile = device::DeviceProfile::Pc();
+  profile.churn = net::ChurnModel::AlwaysOn();
+  device::Device outsider(&network_, &authority_, profile, "code");
+  ReplicaRole::Config cfg;
+  cfg.group_id = 7;
+  cfg.members = {outsider.id() + 100, outsider.id() + 101};
+  ReplicaRole role(&sim_, &outsider, cfg);
+  EXPECT_TRUE(role.misconfigured());
+  EXPECT_FALSE(role.is_leader());
+  EXPECT_EQ(role.rank(), cfg.members.size());
+}
+
+TEST_F(ReplicaTest, MisconfiguredRoleAbortsOnStart) {
+  auto profile = device::DeviceProfile::Pc();
+  profile.churn = net::ChurnModel::AlwaysOn();
+  device::Device outsider(&network_, &authority_, profile, "code");
+  ReplicaRole::Config cfg;
+  cfg.group_id = 7;
+  cfg.members = {outsider.id() + 100};
+  ReplicaRole role(&sim_, &outsider, cfg);
+  ASSERT_TRUE(role.misconfigured());
+  EXPECT_DEATH(role.Start(), "not a member");
 }
 
 }  // namespace
