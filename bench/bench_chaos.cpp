@@ -1,12 +1,15 @@
 // Chaos scenario matrix — the validity invariant under injected faults.
 // Sweeps every probabilistic fault kind (drop, burst, duplicate, delay,
-// corrupt) x fault rate x strategy (Overcollection, Backup) under the
-// deterministic chaos injector and audits each trial with the central
-// ValidityOracle. Expected shape: trials split between *valid* (the
+// corrupt, plus a "crash" pseudo-kind that kills processor devices outright)
+// x fault rate x configuration (Overcollection with repair off/on, Backup)
+// under the deterministic chaos injector and audits each trial with the
+// central ValidityOracle. Expected shape: trials split between *valid* (the
 // delivered answer equals a centralized rerun over the recorded crowd
 // sample) and *failed-safe* (no answer before the deadline); a
 // *successful-but-invalid* cell is an invariant violation and fails the
-// bench with exit 1.
+// bench with exit 1 — with or without the repair subsystem. The repair-on
+// rows additionally report how often mid-query recruitment ran and
+// completed, showing the detection + repair path is exercised, not idle.
 //
 // Runs on the parallel trial harness (see trial_runner.h): every
 // (cell, trial) pair is an independent seed-deterministic simulation, so
@@ -24,20 +27,40 @@ namespace {
 
 using chaos::FaultKind;
 
+// The sweep's fault axis: the five message-level injector kinds plus
+// device crashes (ExecutionConfig failure injection at the given rate).
+struct BenchFault {
+  const char* name;
+  bool is_crash;
+  FaultKind kind;  // meaningful when !is_crash
+};
+
+// Overcollection with and without the repair subsystem, and Backup as the
+// replication baseline (repair applies only to Overcollection plans).
+struct BenchMode {
+  const char* name;
+  exec::Strategy strategy;
+  bool repair;
+};
+
 struct TrialResult {
   bench::TrialStatus status;
   core::TrialVerdict verdict = core::TrialVerdict::kFailedSafe;
+  uint32_t repairs_attempted = 0;
+  uint32_t repairs_succeeded = 0;
   uint64_t fingerprint = 0;
 };
 
 struct Cell {
-  FaultKind kind = FaultKind::kDrop;
+  BenchFault fault;
   double rate = 0;
-  exec::Strategy strategy = exec::Strategy::kOvercollection;
+  BenchMode mode;
   int valid = 0;
   int invalid = 0;
   int failed_safe = 0;
   int skipped = 0;
+  uint64_t repairs_attempted = 0;
+  uint64_t repairs_succeeded = 0;
   uint64_t fingerprint = 0;  // order-combined over completed trials
 };
 
@@ -50,20 +73,47 @@ TrialResult RunOne(const Cell& cell, int trial) {
     return r;
   }
   query::Query q = bench::SurveyQuery(40, seed);
-  auto d = fw.Plan(q, {}, {0.1, 0.99}, cell.strategy);
+  auto d = fw.Plan(q, {}, {0.1, 0.99}, cell.mode.strategy);
   if (!d.ok()) {
     r.status = {true, "plan"};
     return r;
   }
-  // Chaos seed varies per trial but not per cell shape: the same schedule
-  // shape replays across kinds/rates, isolating the knob under sweep.
-  chaos::ChaosInjector injector(
-      chaos::MakeFaultScenario(cell.kind, seed + 7, cell.rate));
-  injector.AttachTo(fw.network());
   exec::ExecutionConfig ec;
   ec.collection_window = 30 * kSecond;
   ec.deadline = 4 * kMinute;
   ec.inject_failures = false;
+  ec.repair.enabled = cell.mode.repair;
+  // Chaos seed varies per trial but not per cell shape: the same schedule
+  // shape replays across kinds/rates, isolating the knob under sweep.
+  chaos::ChaosInjector injector(
+      chaos::MakeFaultScenario(cell.fault.kind, seed + 7, cell.rate));
+  if (cell.fault.is_crash) {
+    // Crash pseudo-kind: each deployed chain operator dies with
+    // probability `rate` at a deterministic random time inside the query's
+    // active window (collection + early compute). The stock failure
+    // injection spreads kills over the whole deadline — most of which
+    // lands after completion; repair is about crashes *during* the query.
+    Rng kill_rng(Mix64(seed + 7) ^ 0xC4A5);
+    std::vector<net::NodeId> victims;
+    for (const auto& partition : d->sb_groups) {
+      for (const auto& group : partition) {
+        victims.insert(victims.end(), group.begin(), group.end());
+      }
+    }
+    for (const auto& partition : d->computer_groups) {
+      for (const auto& group : partition) {
+        victims.insert(victims.end(), group.begin(), group.end());
+      }
+    }
+    net::Network* network = fw.network();
+    for (net::NodeId id : victims) {
+      if (!kill_rng.NextBernoulli(cell.rate)) continue;
+      SimTime when = kSecond + kill_rng.NextBelow(45 * kSecond);
+      fw.sim()->ScheduleAt(id, when, [network, id]() { network->Kill(id); });
+    }
+  } else {
+    injector.AttachTo(fw.network());
+  }
   auto report = fw.Execute(*d, ec);
   injector.Detach();
   if (!report.ok()) {
@@ -77,6 +127,8 @@ TrialResult RunOne(const Cell& cell, int trial) {
     return r;
   }
   r.verdict = audit->verdict;
+  r.repairs_attempted = report->repairs_attempted;
+  r.repairs_succeeded = report->repairs_succeeded;
   r.fingerprint = exec::ReportFingerprint(*report);
   return r;
 }
@@ -87,26 +139,39 @@ int main(int argc, char** argv) {
   bench::HarnessOptions opt =
       bench::ParseHarnessOptions(argc, argv, "chaos", /*default_trials=*/5);
   bench::PrintHeader(
-      "Chaos matrix: validity under injected message-level faults",
+      "Chaos matrix: validity under injected faults, with and without "
+      "mid-query repair",
       "Expected: every cell is valid or failed-safe; a successful execution "
       "whose answer diverges from the centralized rerun (invalid) fails "
       "this bench with exit 1.");
 
-  const FaultKind kKinds[] = {FaultKind::kDrop, FaultKind::kBurst,
-                              FaultKind::kDuplicate, FaultKind::kDelay,
-                              FaultKind::kCorrupt};
-  const double kRates[] = {0.05, 0.15, 0.30};
-  const exec::Strategy kStrategies[] = {exec::Strategy::kOvercollection,
-                                        exec::Strategy::kBackup};
+  const BenchFault kFaults[] = {
+      {"drop", false, FaultKind::kDrop},
+      {"burst", false, FaultKind::kBurst},
+      {"duplicate", false, FaultKind::kDuplicate},
+      {"delay", false, FaultKind::kDelay},
+      {"corrupt", false, FaultKind::kCorrupt},
+      {"crash", true, FaultKind::kDrop},
+  };
+  // 0.50 deliberately exceeds what the planner provisioned for (presumed
+  // p = 0.10): at that rate repair-off Overcollection trials routinely run
+  // out of live partitions, which is exactly where the repair rows earn
+  // their keep.
+  const double kRates[] = {0.05, 0.15, 0.30, 0.50};
+  const BenchMode kModes[] = {
+      {"overcollection", exec::Strategy::kOvercollection, false},
+      {"overcoll+repair", exec::Strategy::kOvercollection, true},
+      {"backup", exec::Strategy::kBackup, false},
+  };
 
   std::vector<Cell> cells;
-  for (FaultKind kind : kKinds) {
+  for (const BenchFault& fault : kFaults) {
     for (double rate : kRates) {
-      for (exec::Strategy strategy : kStrategies) {
+      for (const BenchMode& mode : kModes) {
         Cell c;
-        c.kind = kind;
+        c.fault = fault;
         c.rate = rate;
-        c.strategy = strategy;
+        c.mode = mode;
         cells.push_back(c);
       }
     }
@@ -134,33 +199,45 @@ int main(int argc, char** argv) {
         case core::TrialVerdict::kInvalid: ++cells[c].invalid; break;
         case core::TrialVerdict::kFailedSafe: ++cells[c].failed_safe; break;
       }
+      cells[c].repairs_attempted += r.repairs_attempted;
+      cells[c].repairs_succeeded += r.repairs_succeeded;
       cells[c].fingerprint = HashCombine(cells[c].fingerprint, r.fingerprint);
     }
   }
 
-  std::printf("%10s %6s %16s %8s %8s %12s\n", "fault", "rate", "strategy",
-              "valid", "invalid", "failed-safe");
-  bench::PrintRule(66);
+  std::printf("%10s %6s %16s %6s %8s %12s %9s\n", "fault", "rate", "mode",
+              "valid", "invalid", "failed-safe", "repairs");
+  bench::PrintRule(74);
   bench::BenchJson json("chaos", opt);
   int invalid_total = 0;
+  uint64_t repairs_total = 0;
   for (const Cell& c : cells) {
-    std::string strategy_name(exec::StrategyName(c.strategy));
-    std::printf("%10s %6.2f %16s %8d %8d %12d\n",
-                chaos::FaultKindName(c.kind), c.rate, strategy_name.c_str(),
-                c.valid, c.invalid, c.failed_safe);
+    char repairs[32];
+    std::snprintf(repairs, sizeof(repairs), "%llu/%llu",
+                  static_cast<unsigned long long>(c.repairs_succeeded),
+                  static_cast<unsigned long long>(c.repairs_attempted));
+    std::printf("%10s %6.2f %16s %6d %8d %12d %9s\n", c.fault.name, c.rate,
+                c.mode.name, c.valid, c.invalid, c.failed_safe,
+                c.mode.repair ? repairs : "-");
     invalid_total += c.invalid;
-    json.AddRow({{"fault", bench::JsonStr(chaos::FaultKindName(c.kind))},
+    repairs_total += c.repairs_succeeded;
+    json.AddRow({{"fault", bench::JsonStr(c.fault.name)},
                  {"rate", bench::JsonNum(c.rate)},
-                 {"strategy", bench::JsonStr(exec::StrategyName(c.strategy))},
+                 {"strategy", bench::JsonStr(exec::StrategyName(
+                                  c.mode.strategy))},
+                 {"repair", bench::JsonBool(c.mode.repair)},
                  {"valid", bench::JsonNum(c.valid)},
                  {"invalid", bench::JsonNum(c.invalid)},
                  {"failed_safe", bench::JsonNum(c.failed_safe)},
+                 {"repairs_attempted", bench::JsonNum(c.repairs_attempted)},
+                 {"repairs_succeeded", bench::JsonNum(c.repairs_succeeded)},
                  {"skipped", bench::JsonNum(c.skipped)},
                  {"report_fingerprint",
                   bench::JsonStr(std::to_string(c.fingerprint))}});
   }
   std::printf("\n(%d trials per cell; fleet 120/40, snapshot 40, presumed "
-              "p=0.10, target 0.99)\n", per_cell);
+              "p=0.10, target 0.99; repairs column = succeeded/attempted "
+              "mid-query recruitments)\n", per_cell);
   if (skipped_total > 0) {
     std::printf("WARNING: %d trial(s) skipped (Init/Plan/Execute/Audit "
                 "failure) — excluded from the verdict counts above.\n",
@@ -173,6 +250,10 @@ int main(int argc, char** argv) {
                  "invariant is broken.\n",
                  invalid_total);
     return 1;
+  }
+  if (repairs_total == 0) {
+    std::printf("NOTE: no trial exercised a successful repair — the "
+                "repair-on rows ran entirely on the primary deployment.\n");
   }
   return 0;
 }

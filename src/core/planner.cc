@@ -96,15 +96,20 @@ Result<exec::Deployment> Planner::Plan(const Input& input) const {
   // --- Resiliency sizing.
   int replicas = 1;  // devices per operator (Backup: b+1)
   if (input.strategy == Strategy::kOvercollection) {
+    // A partition survives only if every one of its operators does: one
+    // snapshot builder AND one computer per vertical group — 2 * vgroups
+    // devices. (An earlier sizing used 1 + vgroups, as if the builders of
+    // a partition were a single device; it under-provisions m for every
+    // multi-vertical-group plan.)
     auto m = resilience::MinOvercollection(
         d.n, input.resilience.failure_probability,
         input.resilience.reliability_target,
-        /*ops_per_partition=*/1 + vgroups);
+        /*ops_per_partition=*/2 * vgroups);
     if (!m.ok()) return m.status();
     d.m = *m;
   } else {
     d.m = 0;
-    int num_operators = d.n * (1 + vgroups) + 1;  // builders+computers+comb
+    int num_operators = d.n * 2 * vgroups + 1;  // builders+computers+comb
     auto b = resilience::MinBackupReplicas(
         num_operators, input.resilience.failure_probability,
         input.resilience.reliability_target);
@@ -152,6 +157,10 @@ Result<exec::Deployment> Planner::Plan(const Input& input) const {
   }
   d.combiner_group = take(combiner_count);
   d.querier = input.querier;
+  // Whatever the hash order left unassigned becomes the rank-ordered spare
+  // pool for mid-query repair: provisioned with the published plan, idle
+  // (and free) unless a repair controller recruits them.
+  d.spare_pool.assign(order.begin() + next, order.end());
 
   // --- Logical QEP (rendering + exposure analysis).
   query::Qep& qep = d.qep;

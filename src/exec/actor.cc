@@ -5,6 +5,28 @@
 
 namespace edgelet::exec {
 
+LivenessBeacon::LivenessBeacon(net::SimEngine* sim, device::Device* dev,
+                               Config config)
+    : sim_(sim), dev_(dev), config_(config) {}
+
+void LivenessBeacon::Start() {
+  if (!config_.enabled || config_.period <= 0) return;
+  OperatorHeartbeatMsg msg;
+  msg.query_id = config_.query_id;
+  msg.op_id = config_.op_id;
+  payload_ = msg.Encode();
+  Beat();
+}
+
+void LivenessBeacon::Beat() {
+  if (dev_->network()->IsDead(dev_->id())) return;  // stop the loop
+  if (sim_->now() >= config_.stop_at) return;
+  // Offline (churned-out) devices' sends are dropped by the network — the
+  // missed beat is exactly the signal the detector is built around.
+  dev_->SendControl(config_.target, kOperatorHeartbeat, payload_);
+  sim_->ScheduleAfter(dev_->id(), config_.period, [this]() { Beat(); });
+}
+
 ContributorActor::ContributorActor(net::SimEngine* sim, device::Device* dev,
                                    Config config)
     : ActorBase(sim, dev), config_(std::move(config)) {}
@@ -47,6 +69,39 @@ void ContributorActor::Contribute() {
   if (config_.trace != nullptr) {
     config_.trace->Record(sim()->now(), TraceEventKind::kContributionSent,
                           dev()->id());
+  }
+}
+
+void ContributorActor::HandleMessage(const net::Message& msg) {
+  if (msg.type == kResolicit) OnResolicit(msg);
+}
+
+void ContributorActor::OnResolicit(const net::Message& msg) {
+  if (!OpenSealed(msg).ok()) return;
+  auto req = ResolicitMsg::Decode(opened_payload());
+  if (!req.ok() || req->query_id != config_.query_id) return;
+  if (req->vgroup >= config_.vgroup_columns.size()) return;
+  // Only the partition this contributor hashes into may sample its row —
+  // re-solicitation must preserve the plan's hash partitioning.
+  uint32_t partition = data::PartitionForKey(
+      config_.contributor_key, static_cast<uint32_t>(config_.builders.size()));
+  if (partition != req->partition) return;
+
+  const data::Table& local = dev()->local_data();
+  if (local.empty()) return;
+  auto qualified = query::ApplyPredicates(local, config_.predicates);
+  if (!qualified.ok() || qualified->empty()) return;
+  auto projected = qualified->Project(config_.vgroup_columns[req->vgroup]);
+  if (!projected.ok()) return;
+  ContributionMsg out;
+  out.query_id = config_.query_id;
+  out.contributor_key = config_.contributor_key;
+  out.rows = std::move(*projected);
+  SealAndSend(req->builder, kContribution, out.Encode());
+  if (config_.trace != nullptr) {
+    config_.trace->Record(sim()->now(), TraceEventKind::kContributionSent,
+                          dev()->id(), static_cast<int>(req->partition),
+                          static_cast<int>(req->vgroup), "re-solicited");
   }
 }
 

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "device/device.h"
+#include "exec/defaults.h"
 #include "exec/protocol.h"
 #include "exec/trace.h"
 #include "net/simulator.h"
@@ -36,6 +37,11 @@ class ActorBase {
   device::Device* dev() const { return dev_; }
   net::SimEngine* sim() const { return sim_; }
 
+  // Hands a message to this actor directly. Wrapper actors (the spare
+  // edgelet of the repair subsystem) re-bind the device handler to
+  // themselves and forward to an inner actor through this.
+  void Deliver(const net::Message& msg) { HandleMessage(msg); }
+
  protected:
   virtual void HandleMessage(const net::Message& msg) = 0;
 
@@ -66,6 +72,38 @@ class ActorBase {
   Bytes open_scratch_;
 };
 
+// Periodic liveness beacon for the failure-detection subsystem: while the
+// hosting device is alive, renews the operator's lease at the repair
+// controller with a plaintext kOperatorHeartbeat every period. Every
+// replica beats (the detector monitors devices, not leadership); beats
+// from dead devices are dropped by the network and the loop stops
+// rescheduling once the device is dead or the deadline passed.
+class LivenessBeacon {
+ public:
+  struct Config {
+    bool enabled = false;
+    net::NodeId target = 0;  // the controller's device
+    uint64_t query_id = 0;
+    uint64_t op_id = 0;
+    SimDuration period = 5 * kSecond;
+    SimTime stop_at = kSimTimeNever;
+  };
+
+  LivenessBeacon(net::SimEngine* sim, device::Device* dev, Config config);
+
+  // Sends the first beat immediately (in the caller's event context) and
+  // schedules the periodic loop. No-op unless config.enabled.
+  void Start();
+
+ private:
+  void Beat();
+
+  net::SimEngine* sim_;
+  device::Device* dev_;
+  Config config_;
+  Bytes payload_;  // encoded once; identical every beat
+};
+
 // A Data Contributor: at its scheduled contact time, evaluates the query
 // predicates on its local record inside the enclave and sends qualifying
 // rows (projected to the required columns) to every replica of its hash-
@@ -92,10 +130,13 @@ class ContributorActor : public ActorBase {
   bool contributed() const { return contributed_; }
 
  protected:
-  void HandleMessage(const net::Message& msg) override { (void)msg; }
+  // Contributors are mostly send-only, but a repair controller may
+  // re-solicit their projection for a rebuilt partition (kResolicit).
+  void HandleMessage(const net::Message& msg) override;
 
  private:
   void Contribute();
+  void OnResolicit(const net::Message& msg);
 
   Config config_;
   bool contributed_ = false;

@@ -12,10 +12,15 @@ CombinerActor::CombinerActor(net::SimEngine* sim, device::Device* dev,
     : ActorBase(sim, dev), config_(std::move(config)) {
   replica_ = std::make_unique<ReplicaRole>(sim, dev, config_.replica);
   replica_->set_on_promote([this]() { EmitPending(); });
+  if (config_.repair.enabled) {
+    controller_ = std::make_unique<RepairController>(sim, dev, config_.repair);
+    controller_->set_done([this]() { return result_ready_; });
+  }
 }
 
 void CombinerActor::Start() {
   replica_->Start();
+  if (controller_ != nullptr) controller_->Start();
   if (config_.emit_at != kSimTimeNever) {
     sim()->ScheduleAt(dev()->id(), config_.emit_at, [this]() { OnEmitTimer(); });
   }
@@ -32,6 +37,19 @@ void CombinerActor::HandleMessage(const net::Message& msg) {
     case kLeaderPing: {
       auto ping = LeaderPingMsg::Decode(msg.payload);
       if (ping.ok()) replica_->HandlePing(*ping);
+      break;
+    }
+    case kOperatorHeartbeat: {
+      if (controller_ == nullptr) break;
+      auto beat = OperatorHeartbeatMsg::Decode(msg.payload);
+      if (beat.ok()) controller_->OnHeartbeat(*beat);
+      break;
+    }
+    case kRecruitAck: {
+      if (controller_ == nullptr) break;
+      if (!OpenSealed(msg).ok()) break;
+      auto ack = RecruitAckMsg::Decode(opened_payload());
+      if (ack.ok()) controller_->OnRecruitAck(*ack);
       break;
     }
     default:
@@ -70,6 +88,10 @@ void CombinerActor::OnGsPartial(const net::Message& msg) {
   state.by_vgroup.emplace(
       partial->vgroup,
       std::make_pair(partial->epoch, std::move(partial->result)));
+  if (controller_ != nullptr) {
+    controller_->NotePartialDelivered(partial->partition, partial->vgroup,
+                                      partial->epoch);
+  }
 
   if (state.by_vgroup.size() == config_.num_vgroups) {
     state.complete = true;

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "exec/actor.h"
+#include "exec/repair.h"
 #include "exec/replica.h"
 #include "ml/kmeans.h"
 
@@ -47,11 +48,15 @@ class CombinerActor : public ActorBase {
     // else; the combiner re-emits it this many extra times (the querier
     // deduplicates).
     int result_resends = 2;
-    SimDuration resend_interval = 15 * kSecond;
+    SimDuration resend_interval = kDefaultResendInterval;
     // True: emit as soon as ready regardless of replica rank (active
     // replication). False: only the replica-group leader emits.
     bool active_emit = true;
     ReplicaRole::Config replica;
+    // Mid-query failure detection + partition repair (DESIGN.md §5f). Only
+    // the primary combiner instance gets an enabled controller; it runs in
+    // this actor's event context.
+    RepairController::Config repair;
     ExecutionTrace* trace = nullptr;
   };
 
@@ -62,6 +67,10 @@ class CombinerActor : public ActorBase {
   bool emitted() const { return emitted_; }
   size_t partitions_complete() const { return complete_order_.size(); }
   bool replica_is_leader() const { return replica_->is_leader(); }
+  // Null unless this instance hosts the repair controller.
+  const RepairController* repair_controller() const {
+    return controller_.get();
+  }
 
  protected:
   void HandleMessage(const net::Message& msg) override;
@@ -93,6 +102,7 @@ class CombinerActor : public ActorBase {
 
   Config config_;
   std::unique_ptr<ReplicaRole> replica_;
+  std::unique_ptr<RepairController> controller_;
 
   // GS state.
   std::map<uint32_t, PartitionState> partitions_;

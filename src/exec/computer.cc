@@ -31,6 +31,10 @@ ComputerActor::ComputerActor(net::SimEngine* sim, device::Device* dev,
 
 void ComputerActor::Start() {
   replica_->Start();
+  if (config_.liveness.enabled) {
+    beacon_ = std::make_unique<LivenessBeacon>(sim(), dev(), config_.liveness);
+    beacon_->Start();
+  }
   if (config_.mode == Mode::kKMeans) {
     for (int round = 0; round < config_.num_heartbeats; ++round) {
       SimTime at = config_.first_heartbeat +

@@ -54,7 +54,10 @@ class ComputerActor : public ActorBase {
     ExecutionTrace* trace = nullptr;
     // Extra re-emissions of partials / final reports (combiners dedup).
     int emission_resends = 0;
-    SimDuration resend_interval = 15 * kSecond;
+    SimDuration resend_interval = kDefaultResendInterval;
+    // Liveness lease renewals toward the repair controller (off unless the
+    // execution enables repair).
+    LivenessBeacon::Config liveness;
   };
 
   ComputerActor(net::SimEngine* sim, device::Device* dev, Config config);
@@ -81,6 +84,7 @@ class ComputerActor : public ActorBase {
 
   Config config_;
   std::unique_ptr<ReplicaRole> replica_;
+  std::unique_ptr<LivenessBeacon> beacon_;
 
   // Slice state.
   bool have_slice_ = false;

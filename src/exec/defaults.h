@@ -1,0 +1,20 @@
+#ifndef EDGELET_EXEC_DEFAULTS_H_
+#define EDGELET_EXEC_DEFAULTS_H_
+
+#include "common/sim_time.h"
+
+namespace edgelet::exec {
+
+// Single source of truth for the liveness / retransmission timing defaults
+// shared by ExecutionConfig and the per-actor sub-configs it populates
+// (ReplicaRole, SnapshotBuilderActor, ComputerActor, CombinerActor). The
+// values used to be duplicated per struct and had drifted (ReplicaRole
+// defaulted failover to 15s while ExecutionConfig wired 20s); a test pins
+// that every struct default now agrees with these constants.
+inline constexpr SimDuration kDefaultPingPeriod = 5 * kSecond;
+inline constexpr SimDuration kDefaultFailoverTimeout = 20 * kSecond;
+inline constexpr SimDuration kDefaultResendInterval = 15 * kSecond;
+
+}  // namespace edgelet::exec
+
+#endif  // EDGELET_EXEC_DEFAULTS_H_

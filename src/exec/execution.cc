@@ -40,6 +40,13 @@ void SerializeReport(const ExecutionReport& report, Writer* w) {
     for (uint64_t key : vg) w->PutU64(key);
   }
   w->PutU64(report.max_observed_exposure_tuples);
+  // Repair subsystem fields: appended at the end so pre-repair fingerprint
+  // expectations stay valid (repair-off reports serialize the zero values
+  // deterministically).
+  w->PutU64(report.failures_detected);
+  w->PutU32(report.repairs_attempted);
+  w->PutU32(report.repairs_succeeded);
+  w->PutU64(report.early_abort_time);
 }
 
 uint64_t ReportFingerprint(const ExecutionReport& report) {
@@ -65,6 +72,11 @@ Status QueryExecution::Start() {
   base_ = sim_->now();
   if (config_.enable_trace) trace_ = std::make_unique<ExecutionTrace>(sim_);
   stats_before_ = network_->stats();
+  repair_active_ = config_.repair.enabled &&
+                   deployment_.strategy == Strategy::kOvercollection &&
+                   deployment_.query.kind == query::QueryKind::kGroupingSets &&
+                   !deployment_.spare_pool.empty() &&
+                   !deployment_.combiner_group.empty();
   // Every contributor schedules a contribution plus churn/resend events;
   // pre-size the event queue so the collection burst doesn't regrow it.
   sim_->ReserveEvents(fleet_->contributors().size() * 2 + 256);
@@ -73,6 +85,7 @@ Status QueryExecution::Start() {
   EDGELET_RETURN_NOT_OK(BuildSnapshotBuilders());
   EDGELET_RETURN_NOT_OK(BuildComputers());
   EDGELET_RETURN_NOT_OK(BuildCombiners());
+  if (repair_active_) EDGELET_RETURN_NOT_OK(BuildSpares());
 
   device::Device* qdev = fleet_->by_node(deployment_.querier);
   if (qdev == nullptr) return Status::NotFound("querier device missing");
@@ -150,6 +163,11 @@ Status QueryExecution::BuildSnapshotBuilders() {
         cfg.trace = trace_.get();
         cfg.emission_resends = config_.emission_resends;
         cfg.resend_interval = config_.resend_interval;
+        if (repair_active_) {
+          cfg.liveness = MakeLiveness(RecruitRole::kSnapshotBuilder,
+                                      static_cast<uint32_t>(p),
+                                      static_cast<uint32_t>(vg));
+        }
         auto actor = std::make_unique<SnapshotBuilderActor>(sim_, dev,
                                                             std::move(cfg));
         actor->Start();
@@ -203,6 +221,11 @@ Status QueryExecution::BuildComputers() {
         cfg.trace = trace_.get();
         cfg.emission_resends = config_.emission_resends;
         cfg.resend_interval = config_.resend_interval;
+        if (repair_active_) {
+          cfg.liveness = MakeLiveness(RecruitRole::kComputer,
+                                      static_cast<uint32_t>(p),
+                                      static_cast<uint32_t>(vg));
+        }
         auto actor = std::make_unique<ComputerActor>(sim_, dev,
                                                      std::move(cfg));
         actor->Start();
@@ -247,9 +270,77 @@ Status QueryExecution::BuildCombiners() {
     cfg.replica.failover_timeout = config_.failover_timeout;
     cfg.replica.stop_at = base_ + config_.deadline;
     cfg.trace = trace_.get();
+    // Exactly one controller: the primary combiner instance. (Active
+    // Backup combiners merge independently; a second controller would
+    // recruit the same spares twice.)
+    if (repair_active_ && node == deployment_.combiner_group[0]) {
+      RepairController::Config rc;
+      rc.enabled = true;
+      rc.query_id = query.query_id;
+      rc.n_needed = deployment_.n;
+      rc.total_partitions =
+          static_cast<uint32_t>(deployment_.n + deployment_.m);
+      rc.num_vgroups =
+          static_cast<uint32_t>(deployment_.vgroup_columns.size());
+      rc.detector.lease_period = config_.repair.lease_period;
+      rc.detector.miss_threshold = config_.repair.miss_threshold;
+      rc.detector.suspicion_backoff = config_.repair.suspicion_backoff;
+      rc.detector.max_backoff_steps = config_.repair.max_backoff_steps;
+      rc.detector.jitter_fraction = config_.repair.detector_jitter_fraction;
+      rc.detector.seed = Mix64(config_.seed) ^ 0xDE7EC7;
+      rc.start_at = base_;
+      rc.collection_end = base_ + config_.collection_window;
+      rc.deadline = base_ + config_.deadline;
+      rc.combiner_margin = config_.combiner_margin;
+      rc.compute_margin = config_.repair.compute_margin;
+      rc.emission_margin = config_.repair.emission_margin;
+      rc.recruit_resends = config_.repair.recruit_resends;
+      rc.resend_interval = config_.resend_interval;
+      rc.spare_pool = deployment_.spare_pool;
+      for (const auto& c : contributors_) {
+        rc.contributors.push_back(c->dev()->id());
+      }
+      rc.trace = trace_.get();
+      cfg.repair = std::move(rc);
+    }
     auto actor = std::make_unique<CombinerActor>(sim_, dev, std::move(cfg));
     actor->Start();
     combiners_.push_back(std::move(actor));
+  }
+  return Status::OK();
+}
+
+LivenessBeacon::Config QueryExecution::MakeLiveness(RecruitRole role,
+                                                    uint32_t partition,
+                                                    uint32_t vgroup) const {
+  LivenessBeacon::Config liveness;
+  liveness.enabled = true;
+  liveness.target = deployment_.combiner_group[0];
+  liveness.query_id = deployment_.query.query_id;
+  liveness.op_id = RepairOpId(role, partition, vgroup, /*generation=*/0);
+  liveness.period = config_.repair.lease_period;
+  liveness.stop_at = base_ + config_.deadline;
+  return liveness;
+}
+
+Status QueryExecution::BuildSpares() {
+  for (net::NodeId node : deployment_.spare_pool) {
+    device::Device* dev = fleet_->by_node(node);
+    if (dev == nullptr) return Status::NotFound("spare device missing");
+    SpareActor::Config cfg;
+    cfg.query_id = deployment_.query.query_id;
+    cfg.quota = deployment_.quota;
+    cfg.gs_spec = deployment_.query.grouping_sets;
+    cfg.vgroup_columns = deployment_.vgroup_columns;
+    cfg.vgroup_set_indices = deployment_.vgroup_set_indices;
+    cfg.combiners = deployment_.combiner_group;
+    cfg.stop_at = base_ + config_.deadline;
+    cfg.liveness_period = config_.repair.lease_period;
+    cfg.emission_resends = config_.emission_resends;
+    cfg.resend_interval = config_.resend_interval;
+    cfg.trace = trace_.get();
+    spares_.push_back(
+        std::make_unique<SpareActor>(sim_, dev, std::move(cfg)));
   }
   return Status::OK();
 }
@@ -275,6 +366,12 @@ void QueryExecution::InjectFailures() {
     }
   }
   for (net::NodeId id : deployment_.combiner_group) add(id);
+  // Spares are processors too (a recruited spare can crash like any other
+  // operator); appended after the legacy targets so repair-off executions
+  // draw the exact same kill plan as before the repair subsystem existed.
+  if (repair_active_) {
+    for (net::NodeId id : deployment_.spare_pool) add(id);
+  }
 
   Rng rng(Mix64(config_.seed) ^ 0xFA11);
   device::FailurePlan plan = device::PlanFailures(
@@ -291,7 +388,31 @@ void QueryExecution::InjectFailures() {
 
 Status QueryExecution::RunToCompletion() {
   if (!started_) return Status::FailedPrecondition("call Start() first");
-  sim_->RunUntil(base_ + config_.deadline);
+  const SimTime end = base_ + config_.deadline;
+  const RepairController* controller = nullptr;
+  for (const auto& c : combiners_) {
+    if (c->repair_controller() != nullptr) {
+      controller = c->repair_controller();
+      break;
+    }
+  }
+  if (controller == nullptr) {
+    sim_->RunUntil(end);
+  } else {
+    // Fail-safe early termination: run in lease-period chunks so an abort
+    // decision stops the execution at (just past) decision time instead of
+    // idling to the deadline. Chunked RunUntil is engine-invariant — both
+    // engines run every event with time <= the chunk boundary — so shard
+    // counts keep producing identical reports.
+    const SimDuration step =
+        std::max<SimDuration>(config_.repair.lease_period, kSecond);
+    SimTime t = base_;
+    while (t < end) {
+      t = std::min<SimTime>(end, t + step);
+      sim_->RunUntil(t);
+      if (controller->abort_requested()) break;
+    }
+  }
   CollectReport();
   return Status::OK();
 }
@@ -331,11 +452,27 @@ void QueryExecution::CollectReport() {
         size_t flat = i * vgroups + vg;
         uint32_t epoch =
             flat < report_.epochs_used.size() ? report_.epochs_used[flat] : 0;
+        // Originals emit under their replica rank; recruited builders emit
+        // under their unique repair-generation epoch (>= kRepairEpochBase),
+        // so a recruit's sample can never be attributed to a dead
+        // original's rank.
         for (const auto& builder : builders_[p][vg]) {
-          if (builder->rank() == epoch) {
+          if (builder->emit_epoch() == epoch) {
             const auto& keys = builder->included_contributors();
             auto& out = report_.snapshot_contributors_by_vgroup[vg];
             out.insert(out.end(), keys.begin(), keys.end());
+          }
+        }
+        if (epoch >= kRepairEpochBase) {
+          for (const auto& spare : spares_) {
+            if (spare->recruited() && spare->builder() != nullptr &&
+                spare->partition() == p &&
+                spare->vgroup() == static_cast<uint32_t>(vg) &&
+                spare->epoch() == epoch) {
+              const auto& keys = spare->builder()->included_contributors();
+              auto& out = report_.snapshot_contributors_by_vgroup[vg];
+              out.insert(out.end(), keys.begin(), keys.end());
+            }
           }
         }
       }
@@ -355,6 +492,23 @@ void QueryExecution::CollectReport() {
     report_.max_observed_exposure_tuples =
         std::max(report_.max_observed_exposure_tuples,
                  c->dev()->enclave().cleartext_tuples_observed());
+  }
+  for (const auto& spare : spares_) {
+    report_.max_observed_exposure_tuples =
+        std::max(report_.max_observed_exposure_tuples,
+                 spare->dev()->enclave().cleartext_tuples_observed());
+  }
+
+  for (const auto& c : combiners_) {
+    const RepairController* controller = c->repair_controller();
+    if (controller == nullptr) continue;
+    report_.failures_detected = controller->detections();
+    report_.repairs_attempted = controller->repairs_attempted();
+    report_.repairs_succeeded = controller->repairs_succeeded();
+    if (controller->abort_requested()) {
+      report_.early_abort_time = controller->abort_time() - base_;
+    }
+    break;
   }
 }
 

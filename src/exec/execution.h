@@ -7,6 +7,7 @@
 #include "device/fleet.h"
 #include "exec/combiner.h"
 #include "exec/computer.h"
+#include "exec/repair.h"
 #include "exec/snapshot_builder.h"
 #include "query/qep.h"
 #include "query/query.h"
@@ -49,6 +50,10 @@ struct Deployment {
   // Backup). Backup strategy: one leader/standby group.
   std::vector<net::NodeId> combiner_group;
   net::NodeId querier = 0;
+  // Rank-ordered spare edgelets reserved by the planner for mid-query
+  // repair: provisioned with the plan, idle until recruited. Empty when the
+  // eligible crowd is fully consumed by the primary deployment.
+  std::vector<net::NodeId> spare_pool;
 
   // Overcollection gathers (n+m) partitions of quota tuples each, so the
   // crowd must contain at least this many qualifying contributors (plus
@@ -70,9 +75,12 @@ struct ExecutionConfig {
   // K-Means cadence (paper §2.2).
   SimDuration heartbeat_period = 30 * kSecond;
   int num_heartbeats = 8;
-  // Backup strategy liveness parameters.
-  SimDuration ping_period = 5 * kSecond;
-  SimDuration failover_timeout = 20 * kSecond;
+  // Backup strategy liveness parameters (single source of truth:
+  // exec/defaults.h — the ReplicaRole::Config defaults are the same
+  // constants, so an execution that forgets to forward these still agrees
+  // with one that does).
+  SimDuration ping_period = kDefaultPingPeriod;
+  SimDuration failover_timeout = kDefaultFailoverTimeout;
   // Crash-failure injection over the Data Processor devices.
   bool inject_failures = true;
   double failure_probability = 0.0;
@@ -86,7 +94,11 @@ struct ExecutionConfig {
   // slices, computed partials); receivers deduplicate. Contributions and
   // K-Means broadcasts are naturally redundant and are not repeated.
   int emission_resends = 2;
-  SimDuration resend_interval = 15 * kSecond;
+  SimDuration resend_interval = kDefaultResendInterval;
+  // Mid-query failure detection + deadline-aware partition repair
+  // (DESIGN.md §5f). Applies to Grouping Sets executions under the
+  // Overcollection strategy when the plan reserved spares.
+  RepairConfig repair;
 };
 
 // Canonical byte encoding of an ExecutionReport: every field, fixed order.
@@ -123,6 +135,13 @@ struct ExecutionReport {
   std::vector<std::vector<uint64_t>> snapshot_contributors_by_vgroup;
   // Worst observed cleartext exposure across processor enclaves.
   uint64_t max_observed_exposure_tuples = 0;
+  // Repair subsystem outcome (zeros / kSimTimeNever when repair was off).
+  uint64_t failures_detected = 0;
+  uint32_t repairs_attempted = 0;
+  uint32_t repairs_succeeded = 0;
+  // When the controller failed safe (relative to the execution's start;
+  // strictly less than the deadline). kSimTimeNever otherwise.
+  SimTime early_abort_time = kSimTimeNever;
 };
 
 // Runs one planned query over the fleet on the discrete-event simulator.
@@ -150,8 +169,12 @@ class QueryExecution {
   Status BuildSnapshotBuilders();
   Status BuildComputers();
   Status BuildCombiners();
+  Status BuildSpares();
   void InjectFailures();
   void CollectReport();
+  // Liveness beacon wiring for one original (generation-0) chain operator.
+  LivenessBeacon::Config MakeLiveness(RecruitRole role, uint32_t partition,
+                                      uint32_t vgroup) const;
 
   net::SimEngine* sim_;
   net::Network* network_;
@@ -165,7 +188,12 @@ class QueryExecution {
       builders_;
   std::vector<std::unique_ptr<ComputerActor>> computers_;
   std::vector<std::unique_ptr<CombinerActor>> combiners_;
+  std::vector<std::unique_ptr<SpareActor>> spares_;
   std::unique_ptr<QuerierActor> querier_;
+  // True when this execution runs the repair subsystem: repair requested,
+  // Grouping Sets over Overcollection, and the plan reserved spares. When
+  // false the execution is bit-identical to the pre-repair code path.
+  bool repair_active_ = false;
 
   std::unique_ptr<ExecutionTrace> trace_;
   net::NetworkStats stats_before_;

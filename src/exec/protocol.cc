@@ -236,6 +236,128 @@ Result<FinalResultMsg> FinalResultMsg::Decode(const Bytes& b) {
   return m;
 }
 
+Bytes RecruitMsg::Encode() const {
+  Writer w;
+  w.PutU64(query_id);
+  w.PutU8(static_cast<uint8_t>(role));
+  w.PutU32(partition);
+  w.PutU32(vgroup);
+  w.PutU32(epoch);
+  w.PutU64(peer);
+  w.PutU64(controller);
+  return w.Take();
+}
+
+Result<RecruitMsg> RecruitMsg::Decode(const Bytes& b) {
+  Reader r(b);
+  RecruitMsg m;
+  auto qid = r.GetU64();
+  if (!qid.ok()) return qid.status();
+  m.query_id = *qid;
+  auto role = r.GetU8();
+  if (!role.ok()) return role.status();
+  if (*role > static_cast<uint8_t>(RecruitRole::kComputer)) {
+    return Status::InvalidArgument("bad recruit role");
+  }
+  m.role = static_cast<RecruitRole>(*role);
+  auto part = r.GetU32();
+  if (!part.ok()) return part.status();
+  m.partition = *part;
+  auto vg = r.GetU32();
+  if (!vg.ok()) return vg.status();
+  m.vgroup = *vg;
+  auto epoch = r.GetU32();
+  if (!epoch.ok()) return epoch.status();
+  m.epoch = *epoch;
+  auto peer = r.GetU64();
+  if (!peer.ok()) return peer.status();
+  m.peer = *peer;
+  auto controller = r.GetU64();
+  if (!controller.ok()) return controller.status();
+  m.controller = *controller;
+  return m;
+}
+
+Bytes RecruitAckMsg::Encode() const {
+  Writer w;
+  w.PutU64(query_id);
+  w.PutU8(static_cast<uint8_t>(role));
+  w.PutU32(partition);
+  w.PutU32(vgroup);
+  w.PutU32(epoch);
+  return w.Take();
+}
+
+Result<RecruitAckMsg> RecruitAckMsg::Decode(const Bytes& b) {
+  Reader r(b);
+  RecruitAckMsg m;
+  auto qid = r.GetU64();
+  if (!qid.ok()) return qid.status();
+  m.query_id = *qid;
+  auto role = r.GetU8();
+  if (!role.ok()) return role.status();
+  if (*role > static_cast<uint8_t>(RecruitRole::kComputer)) {
+    return Status::InvalidArgument("bad recruit role");
+  }
+  m.role = static_cast<RecruitRole>(*role);
+  auto part = r.GetU32();
+  if (!part.ok()) return part.status();
+  m.partition = *part;
+  auto vg = r.GetU32();
+  if (!vg.ok()) return vg.status();
+  m.vgroup = *vg;
+  auto epoch = r.GetU32();
+  if (!epoch.ok()) return epoch.status();
+  m.epoch = *epoch;
+  return m;
+}
+
+Bytes ResolicitMsg::Encode() const {
+  Writer w;
+  w.PutU64(query_id);
+  w.PutU32(partition);
+  w.PutU32(vgroup);
+  w.PutU64(builder);
+  return w.Take();
+}
+
+Result<ResolicitMsg> ResolicitMsg::Decode(const Bytes& b) {
+  Reader r(b);
+  ResolicitMsg m;
+  auto qid = r.GetU64();
+  if (!qid.ok()) return qid.status();
+  m.query_id = *qid;
+  auto part = r.GetU32();
+  if (!part.ok()) return part.status();
+  m.partition = *part;
+  auto vg = r.GetU32();
+  if (!vg.ok()) return vg.status();
+  m.vgroup = *vg;
+  auto builder = r.GetU64();
+  if (!builder.ok()) return builder.status();
+  m.builder = *builder;
+  return m;
+}
+
+Bytes OperatorHeartbeatMsg::Encode() const {
+  Writer w;
+  w.PutU64(query_id);
+  w.PutU64(op_id);
+  return w.Take();
+}
+
+Result<OperatorHeartbeatMsg> OperatorHeartbeatMsg::Decode(const Bytes& b) {
+  Reader r(b);
+  OperatorHeartbeatMsg m;
+  auto qid = r.GetU64();
+  if (!qid.ok()) return qid.status();
+  m.query_id = *qid;
+  auto op = r.GetU64();
+  if (!op.ok()) return op.status();
+  m.op_id = *op;
+  return m;
+}
+
 Bytes LeaderPingMsg::Encode() const {
   Writer w;
   w.PutU64(group_id);

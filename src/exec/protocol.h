@@ -5,6 +5,7 @@
 
 #include "data/table.h"
 #include "ml/kmeans.h"
+#include "net/message.h"
 #include "query/grouping_sets.h"
 
 namespace edgelet::exec {
@@ -19,7 +20,11 @@ enum MessageType : uint32_t {
   kKmKnowledge = 4,     // Computer <-> Computer (K-Means sync broadcast)
   kKmFinal = 5,         // Computer -> Combiner (K-Means)
   kFinalResult = 6,     // Combiner -> Querier
+  kRecruit = 7,         // RepairController -> spare edgelet
+  kRecruitAck = 8,      // spare edgelet -> RepairController
+  kResolicit = 9,       // RepairController -> Contributors (re-solicit)
   kLeaderPing = 100,    // Backup strategy: leader liveness announcement
+  kOperatorHeartbeat = 101,  // operator -> RepairController liveness lease
 };
 
 // --- Payload envelopes -------------------------------------------------------
@@ -107,6 +112,71 @@ struct FinalResultMsg {
 
   Bytes Encode() const;
   static Result<FinalResultMsg> Decode(const Bytes& b);
+};
+
+// Which chain role a spare is recruited into.
+enum class RecruitRole : uint8_t {
+  kSnapshotBuilder = 0,
+  kComputer = 1,
+};
+
+// Recruits a pre-provisioned spare edgelet into a broken
+// (partition, vertical-group) chain. Heavy plan state (grouping-set spec,
+// vertical-group columns) is not on the wire: spares receive the published
+// query plan at provisioning time, exactly like originally assigned
+// processors; the recruit names the slot only. Epoch is the repair
+// generation (>= kRepairEpochBase, so it can never collide with a replica
+// rank used as the epoch of an original chain's slice).
+struct RecruitMsg {
+  uint64_t query_id = 0;
+  RecruitRole role = RecruitRole::kSnapshotBuilder;
+  uint32_t partition = 0;
+  uint32_t vgroup = 0;
+  uint32_t epoch = 0;
+  // Builder recruit: the recruited computer it must send its slice to.
+  net::NodeId peer = 0;
+  // Where to ack and heartbeat (the combiner hosting the controller).
+  net::NodeId controller = 0;
+
+  Bytes Encode() const;
+  static Result<RecruitMsg> Decode(const Bytes& b);
+};
+
+// Repair-generation epochs start here; replica ranks (the epochs of
+// original emissions) are always far below it.
+inline constexpr uint32_t kRepairEpochBase = 256;
+
+// A spare's acceptance of a recruit assignment.
+struct RecruitAckMsg {
+  uint64_t query_id = 0;
+  RecruitRole role = RecruitRole::kSnapshotBuilder;
+  uint32_t partition = 0;
+  uint32_t vgroup = 0;
+  uint32_t epoch = 0;
+
+  Bytes Encode() const;
+  static Result<RecruitAckMsg> Decode(const Bytes& b);
+};
+
+// Asks contributors to re-send their vertical-group projection for one
+// partition to a freshly recruited snapshot builder.
+struct ResolicitMsg {
+  uint64_t query_id = 0;
+  uint32_t partition = 0;
+  uint32_t vgroup = 0;
+  net::NodeId builder = 0;
+
+  Bytes Encode() const;
+  static Result<ResolicitMsg> Decode(const Bytes& b);
+};
+
+// Operator liveness lease renewal (plaintext control message).
+struct OperatorHeartbeatMsg {
+  uint64_t query_id = 0;
+  uint64_t op_id = 0;
+
+  Bytes Encode() const;
+  static Result<OperatorHeartbeatMsg> Decode(const Bytes& b);
 };
 
 // Leader liveness ping (plaintext control message).

@@ -1,0 +1,413 @@
+#include "exec/repair.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace edgelet::exec {
+
+uint64_t RepairOpId(RecruitRole role, uint32_t partition, uint32_t vgroup,
+                    uint32_t generation) {
+  // generation | role | partition | vgroup, packed so ids sort by
+  // generation first — detector scans report originals before recruits.
+  return (static_cast<uint64_t>(generation) << 40) |
+         (static_cast<uint64_t>(static_cast<uint8_t>(role) + 1) << 32) |
+         (static_cast<uint64_t>(partition & 0xFFFF) << 16) |
+         static_cast<uint64_t>(vgroup & 0xFFFF);
+}
+
+// --- RepairController --------------------------------------------------------
+
+RepairController::RepairController(net::SimEngine* sim, device::Device* dev,
+                                   Config config)
+    : sim_(sim),
+      dev_(dev),
+      config_(std::move(config)),
+      detector_(config_.detector),
+      done_([]() { return false; }) {
+  chains_.resize(config_.total_partitions);
+  for (uint32_t p = 0; p < config_.total_partitions; ++p) {
+    chains_[p].resize(config_.num_vgroups);
+    for (uint32_t vg = 0; vg < config_.num_vgroups; ++vg) {
+      Chain& c = chains_[p][vg];
+      c.builder_op = RepairOpId(RecruitRole::kSnapshotBuilder, p, vg, 0);
+      c.computer_op = RepairOpId(RecruitRole::kComputer, p, vg, 0);
+    }
+  }
+}
+
+void RepairController::Start() {
+  if (!config_.enabled || config_.total_partitions == 0) return;
+  const SimTime now = sim_->now();
+  for (auto& partition : chains_) {
+    for (auto& c : partition) {
+      detector_.Register(c.builder_op, now);
+      detector_.Register(c.computer_op, now);
+    }
+  }
+  const SimDuration period =
+      std::max<SimDuration>(config_.detector.lease_period, kSecond);
+  if (now + period < config_.deadline) {
+    sim_->ScheduleAfter(dev_->id(), period, [this]() { Tick(); });
+  }
+}
+
+void RepairController::OnHeartbeat(const OperatorHeartbeatMsg& msg) {
+  if (msg.query_id != config_.query_id) return;
+  detector_.Heartbeat(msg.op_id, sim_->now());
+}
+
+void RepairController::NotePartialDelivered(uint32_t partition,
+                                            uint32_t vgroup, uint32_t epoch) {
+  if (partition >= chains_.size() || vgroup >= config_.num_vgroups) return;
+  Chain& c = chains_[partition][vgroup];
+  c.delivered = true;
+  if (epoch >= kRepairEpochBase && epoch == c.epoch && !c.repair_counted) {
+    c.repair_counted = true;
+    ++repairs_succeeded_;
+    if (config_.trace != nullptr) {
+      config_.trace->Record(sim_->now(), TraceEventKind::kChainRepaired,
+                            dev_->id(), static_cast<int>(partition),
+                            static_cast<int>(vgroup),
+                            "repair epoch " + std::to_string(epoch));
+    }
+  }
+  // A delivered chain needs no liveness anymore.
+  detector_.Deregister(c.builder_op);
+  detector_.Deregister(c.computer_op);
+}
+
+void RepairController::Tick() {
+  if (abort_requested_ || done_()) return;
+  // A dead controller must not keep deciding (its scheduled events still
+  // fire); the surviving combiner instance has no controller — repair
+  // degrades to plain overcollection, as before this subsystem existed.
+  if (dev_->network()->IsDead(dev_->id())) return;
+  const SimTime now = sim_->now();
+
+  for (uint64_t op : detector_.Scan(now)) {
+    if (config_.trace != nullptr) {
+      config_.trace->Record(now, TraceEventKind::kFailureSuspected,
+                            dev_->id(),
+                            static_cast<int>((op >> 16) & 0xFFFF),
+                            static_cast<int>(op & 0xFFFF),
+                            "op " + std::to_string(op));
+    }
+  }
+
+  // A partition can still complete iff every vertical chain either already
+  // delivered its partial or is manned by unsuspected operators.
+  int viable = 0;
+  std::vector<std::pair<int, uint32_t>> broken;  // (#broken chains, p)
+  for (uint32_t p = 0; p < config_.total_partitions; ++p) {
+    int broken_chains = 0;
+    for (const Chain& c : chains_[p]) {
+      if (ChainBroken(c)) ++broken_chains;
+    }
+    if (broken_chains == 0) {
+      ++viable;
+    } else {
+      broken.emplace_back(broken_chains, p);
+    }
+  }
+
+  if (viable < config_.n_needed) {
+    // Repair EVERY broken partition the spare/deadline budget allows, not
+    // just enough to get back to n: the detector observes liveness, not
+    // progress, so a repaired chain may still never fill its quota (too few
+    // qualifying contributors hash into it). Rebuilding all broken chains
+    // maximizes the chance that n fillable partitions are among the live
+    // ones. Cheapest partitions first — fewer broken chains = fewer spares
+    // — with ties on partition index (deterministic).
+    std::sort(broken.begin(), broken.end());
+    int recovered = 0;
+    for (const auto& [broken_chains, p] : broken) {
+      if (!RepairFeasible(now, broken_chains)) continue;
+      RepairPartition(p, now);
+      ++recovered;
+    }
+    if (viable + recovered < config_.n_needed) {
+      FailSafe(now, config_.n_needed - viable - recovered);
+      return;
+    }
+  }
+
+  const SimDuration period =
+      std::max<SimDuration>(config_.detector.lease_period, kSecond);
+  if (now + period < config_.deadline) {
+    sim_->ScheduleAfter(dev_->id(), period, [this]() { Tick(); });
+  }
+}
+
+bool RepairController::ChainBroken(const Chain& chain) const {
+  if (chain.delivered) return false;
+  return detector_.IsSuspected(chain.builder_op) ||
+         detector_.IsSuspected(chain.computer_op);
+}
+
+bool RepairController::RepairFeasible(SimTime now, int broken_chains) const {
+  // Full-chain re-provisioning costs one builder + one computer per broken
+  // chain.
+  const size_t spares_needed = 2 * static_cast<size_t>(broken_chains);
+  if (spare_next_ + spares_needed > config_.spare_pool.size()) return false;
+  // Repair-time estimate: the recruited builder re-collects for whatever
+  // remains of the collection window (a late detection collects promptly
+  // via re-solicitation: remainder 0), the chain computes and emits within
+  // the margins, and the combiner still needs its own margin before the
+  // deadline to merge and deliver.
+  const SimDuration remainder =
+      config_.collection_end > now ? config_.collection_end - now : 0;
+  const SimTime ready_by =
+      now + remainder + config_.compute_margin + config_.emission_margin;
+  if (config_.deadline == kSimTimeNever) return true;
+  return ready_by + config_.combiner_margin <= config_.deadline;
+}
+
+void RepairController::RepairPartition(uint32_t partition, SimTime now) {
+  for (uint32_t vg = 0; vg < config_.num_vgroups; ++vg) {
+    Chain& c = chains_[partition][vg];
+    if (!ChainBroken(c)) continue;  // healthy chains keep their operators
+    detector_.Deregister(c.builder_op);
+    detector_.Deregister(c.computer_op);
+    const net::NodeId builder_node = config_.spare_pool[spare_next_++];
+    const net::NodeId computer_node = config_.spare_pool[spare_next_++];
+    const uint32_t epoch = next_epoch_++;
+    c.epoch = epoch;
+    c.builder_node = builder_node;
+    c.computer_node = computer_node;
+    c.builder_acked = false;
+    c.computer_acked = false;
+    c.resolicited = false;
+    c.repair_counted = false;
+    c.builder_op = RepairOpId(RecruitRole::kSnapshotBuilder, partition, vg,
+                              epoch);
+    c.computer_op = RepairOpId(RecruitRole::kComputer, partition, vg, epoch);
+    // Recruits enter the detector immediately: their lease doubles as the
+    // recruit timeout — a spare that never acks (or dies right after) is
+    // suspected like any operator, and the next scan re-repairs the chain
+    // on fresh spares.
+    detector_.Register(c.builder_op, now);
+    detector_.Register(c.computer_op, now);
+    ++repairs_attempted_;
+    SendRecruit(RecruitRole::kComputer, computer_node, partition, vg, epoch,
+                /*peer=*/0);
+    SendRecruit(RecruitRole::kSnapshotBuilder, builder_node, partition, vg,
+                epoch, /*peer=*/computer_node);
+  }
+}
+
+void RepairController::SendRecruit(RecruitRole role, net::NodeId to,
+                                   uint32_t partition, uint32_t vgroup,
+                                   uint32_t epoch, net::NodeId peer) {
+  RecruitMsg msg;
+  msg.query_id = config_.query_id;
+  msg.role = role;
+  msg.partition = partition;
+  msg.vgroup = vgroup;
+  msg.epoch = epoch;
+  msg.peer = peer;
+  msg.controller = dev_->id();
+  const Bytes payload = msg.Encode();
+  (void)dev_->SendSealed(to, kRecruit, payload);
+  if (config_.trace != nullptr) {
+    config_.trace->Record(sim_->now(), TraceEventKind::kRecruitSent,
+                          dev_->id(), static_cast<int>(partition),
+                          static_cast<int>(vgroup),
+                          (role == RecruitRole::kSnapshotBuilder
+                               ? std::string("builder -> ")
+                               : std::string("computer -> ")) +
+                              std::to_string(to));
+  }
+  for (int i = 1; i <= config_.recruit_resends; ++i) {
+    sim_->ScheduleAfter(
+        dev_->id(), ResendBackoffDelay(i, config_.resend_interval),
+        [this, role, to, partition, vgroup, epoch, payload]() {
+          if (partition >= chains_.size() ||
+              vgroup >= config_.num_vgroups) {
+            return;
+          }
+          const Chain& c = chains_[partition][vgroup];
+          if (c.epoch != epoch) return;  // chain moved to a newer recruit
+          const bool acked = role == RecruitRole::kSnapshotBuilder
+                                 ? c.builder_acked
+                                 : c.computer_acked;
+          if (!acked && !dev_->network()->IsDead(dev_->id())) {
+            (void)dev_->SendSealed(to, kRecruit, payload);
+          }
+        });
+  }
+}
+
+void RepairController::OnRecruitAck(const RecruitAckMsg& msg) {
+  if (msg.query_id != config_.query_id) return;
+  if (msg.partition >= chains_.size() || msg.vgroup >= config_.num_vgroups) {
+    return;
+  }
+  Chain& c = chains_[msg.partition][msg.vgroup];
+  if (msg.epoch != c.epoch) return;  // ack for a superseded recruit
+  bool* acked = msg.role == RecruitRole::kSnapshotBuilder ? &c.builder_acked
+                                                          : &c.computer_acked;
+  if (*acked) return;  // resend duplicate
+  *acked = true;
+  if (config_.trace != nullptr) {
+    config_.trace->Record(sim_->now(), TraceEventKind::kRecruitAcked,
+                          dev_->id(), static_cast<int>(msg.partition),
+                          static_cast<int>(msg.vgroup),
+                          msg.role == RecruitRole::kSnapshotBuilder
+                              ? "builder"
+                              : "computer");
+  }
+  // Once the recruited builder is standing, re-solicit its partition's
+  // contributions (the originals went to a dead device's inbox).
+  if (msg.role == RecruitRole::kSnapshotBuilder && !c.resolicited) {
+    c.resolicited = true;
+    Resolicit(msg.partition, msg.vgroup, c.builder_node);
+  }
+}
+
+void RepairController::Resolicit(uint32_t partition, uint32_t vgroup,
+                                 net::NodeId builder) {
+  ResolicitMsg msg;
+  msg.query_id = config_.query_id;
+  msg.partition = partition;
+  msg.vgroup = vgroup;
+  msg.builder = builder;
+  const Bytes payload = msg.Encode();
+  // Fan out to every contributor; each one checks locally whether its key
+  // hashes into the rebuilt partition and re-sends its projection there.
+  for (net::NodeId contributor : config_.contributors) {
+    (void)dev_->SendSealed(contributor, kResolicit, payload);
+  }
+}
+
+void RepairController::FailSafe(SimTime now, int missing) {
+  abort_requested_ = true;
+  abort_time_ = now;
+  if (config_.trace != nullptr) {
+    config_.trace->Record(now, TraceEventKind::kEarlyAbort, dev_->id(), -1,
+                          -1,
+                          std::to_string(missing) +
+                              " partitions unrepairable within deadline");
+  }
+  EDGELET_LOG(kWarning)
+      << "repair controller: failing safe at t=" << now << " ("
+      << missing << " partitions cannot be repaired before the deadline)";
+}
+
+// --- SpareActor --------------------------------------------------------------
+
+SpareActor::SpareActor(net::SimEngine* sim, device::Device* dev, Config config)
+    : ActorBase(sim, dev), config_(std::move(config)) {}
+
+SpareActor::~SpareActor() = default;
+
+void SpareActor::HandleMessage(const net::Message& msg) {
+  if (msg.type == kRecruit) {
+    OnRecruit(msg);
+    return;
+  }
+  // Recruited: the inner actor owns the protocol from here on.
+  if (builder_ != nullptr) {
+    builder_->Deliver(msg);
+  } else if (computer_ != nullptr) {
+    computer_->Deliver(msg);
+  }
+}
+
+void SpareActor::OnRecruit(const net::Message& msg) {
+  if (!OpenSealed(msg).ok()) return;
+  auto req = RecruitMsg::Decode(opened_payload());
+  if (!req.ok() || req->query_id != config_.query_id) return;
+  if (recruited_) {
+    // Controller resend of our assignment: re-ack (the first ack may have
+    // been lost). A conflicting assignment is dropped — one spare, one
+    // role.
+    if (req->role == assignment_.role &&
+        req->partition == assignment_.partition &&
+        req->vgroup == assignment_.vgroup &&
+        req->epoch == assignment_.epoch) {
+      SendAck();
+    }
+    return;
+  }
+  if (req->vgroup >= config_.vgroup_columns.size()) return;
+  recruited_ = true;
+  assignment_ = *req;
+
+  const uint64_t op_id =
+      RepairOpId(req->role, req->partition, req->vgroup, req->epoch);
+  LivenessBeacon::Config liveness;
+  liveness.enabled = true;
+  liveness.target = req->controller;
+  liveness.query_id = config_.query_id;
+  liveness.op_id = op_id;
+  liveness.period = config_.liveness_period;
+  liveness.stop_at = config_.stop_at;
+
+  // Singleton replica group (Overcollection discipline: recruits are
+  // singletons like the originals) keyed uniquely per assignment.
+  ReplicaRole::Config replica;
+  replica.group_id =
+      HashCombine(config_.query_id,
+                  0x5E00000000ULL + (static_cast<uint64_t>(req->epoch) << 20) +
+                      req->partition * 131 + req->vgroup);
+  replica.members = {dev()->id()};
+  replica.stop_at = config_.stop_at;
+
+  if (req->role == RecruitRole::kSnapshotBuilder) {
+    SnapshotBuilderActor::Config cfg;
+    cfg.query_id = config_.query_id;
+    cfg.partition = req->partition;
+    cfg.vgroup = req->vgroup;
+    cfg.quota = config_.quota;
+    cfg.computers = {req->peer};
+    cfg.columns = config_.vgroup_columns[req->vgroup];
+    cfg.replica = replica;
+    cfg.trace = config_.trace;
+    cfg.emission_resends = config_.emission_resends;
+    cfg.resend_interval = config_.resend_interval;
+    cfg.epoch_override = static_cast<int64_t>(req->epoch);
+    cfg.liveness = liveness;
+    builder_ = std::make_unique<SnapshotBuilderActor>(sim(), dev(),
+                                                      std::move(cfg));
+    // The inner actor's constructor re-bound the device handler to itself;
+    // reclaim it so recruit resends keep reaching this wrapper.
+    dev()->set_message_handler(
+        [this](const net::Message& m) { HandleMessage(m); });
+    builder_->Start();
+  } else {
+    ComputerActor::Config cfg;
+    cfg.query_id = config_.query_id;
+    cfg.partition = req->partition;
+    cfg.vgroup = req->vgroup;
+    cfg.mode = ComputerActor::Mode::kGroupingSets;
+    cfg.gs_spec = config_.gs_spec;
+    if (req->vgroup < config_.vgroup_set_indices.size()) {
+      cfg.set_indices = config_.vgroup_set_indices[req->vgroup];
+    }
+    cfg.combiners = config_.combiners;
+    cfg.replica = replica;
+    cfg.trace = config_.trace;
+    cfg.emission_resends = config_.emission_resends;
+    cfg.resend_interval = config_.resend_interval;
+    cfg.liveness = liveness;
+    computer_ = std::make_unique<ComputerActor>(sim(), dev(), std::move(cfg));
+    dev()->set_message_handler(
+        [this](const net::Message& m) { HandleMessage(m); });
+    computer_->Start();
+  }
+  SendAck();
+}
+
+void SpareActor::SendAck() {
+  RecruitAckMsg ack;
+  ack.query_id = config_.query_id;
+  ack.role = assignment_.role;
+  ack.partition = assignment_.partition;
+  ack.vgroup = assignment_.vgroup;
+  ack.epoch = assignment_.epoch;
+  SealAndSend(assignment_.controller, kRecruitAck, ack.Encode());
+}
+
+}  // namespace edgelet::exec

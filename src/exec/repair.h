@@ -1,0 +1,200 @@
+#ifndef EDGELET_EXEC_REPAIR_H_
+#define EDGELET_EXEC_REPAIR_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "exec/actor.h"
+#include "exec/computer.h"
+#include "exec/snapshot_builder.h"
+#include "resilience/failure_detector.h"
+
+namespace edgelet::exec {
+
+// User-facing knobs of the mid-query failure-detection + partition-repair
+// subsystem (DESIGN.md §5f). Off by default: with enabled == false an
+// execution is bit-identical to one built before the subsystem existed.
+// Repair applies to Grouping Sets queries under the Overcollection
+// strategy; other executions ignore it.
+struct RepairConfig {
+  bool enabled = false;
+  // Heartbeat cadence of monitored operators == the detector's lease
+  // period == the controller's scan cadence.
+  SimDuration lease_period = 5 * kSecond;
+  // Missed periods before suspicion, and the lease backoff applied when a
+  // suspicion proves false (see resilience::FailureDetectorConfig).
+  int miss_threshold = 3;
+  double suspicion_backoff = 2.0;
+  int max_backoff_steps = 3;
+  double detector_jitter_fraction = 0.1;
+  // Budget terms of the repair-vs-fail-safe decision: a repair is feasible
+  // iff now + collection-window remainder + compute_margin +
+  // emission_margin still fits before (deadline - combiner margin).
+  SimDuration compute_margin = 15 * kSecond;
+  SimDuration emission_margin = 15 * kSecond;
+  // Extra recruit re-sends (backoff schedule; spares ack-dedup).
+  int recruit_resends = 2;
+};
+
+// Stable operator identity for the liveness lease of one chain operator:
+// (repair generation, role, partition, vgroup). Generation 0 is the
+// originally planned chain; recruited replacements use their repair epoch,
+// so a recruit is a fresh detector entry, never inheriting the suspicion
+// of the operator it replaces.
+uint64_t RepairOpId(RecruitRole role, uint32_t partition, uint32_t vgroup,
+                    uint32_t generation);
+
+// The repair controller: owned by (and running in the event context of)
+// the primary combiner. Monitors every (partition, vertical-group) chain
+// through operator heartbeat leases; when the partitions still able to
+// complete drop below n, it estimates the repair time against the
+// remaining deadline budget and either re-provisions the broken chains on
+// spare edgelets (Recruit / RecruitAck / re-solicitation) or fails safe —
+// requesting termination at detection time instead of idling to the
+// deadline.
+//
+// Determinism: all state mutations happen in the combiner device's event
+// context (scan ticks, message deliveries), and all randomness is the
+// detector's per-operator counter-based NodeRng jitter — so runs replay
+// bit-identically for any parsim shard count.
+class RepairController {
+ public:
+  struct Config {
+    bool enabled = false;
+    uint64_t query_id = 0;
+    int n_needed = 1;
+    uint32_t total_partitions = 0;  // n + m
+    uint32_t num_vgroups = 1;
+    resilience::FailureDetectorConfig detector;
+    // Absolute times of this execution's schedule.
+    SimTime start_at = 0;
+    SimTime collection_end = 0;
+    SimTime deadline = kSimTimeNever;
+    SimDuration combiner_margin = 60 * kSecond;
+    SimDuration compute_margin = 15 * kSecond;
+    SimDuration emission_margin = 15 * kSecond;
+    int recruit_resends = 2;
+    SimDuration resend_interval = kDefaultResendInterval;
+    // Rank-ordered spares reserved by the planner; consumed front-first.
+    std::vector<net::NodeId> spare_pool;
+    // Every contributor device (re-solicitation fan-out).
+    std::vector<net::NodeId> contributors;
+    ExecutionTrace* trace = nullptr;
+  };
+
+  RepairController(net::SimEngine* sim, device::Device* dev, Config config);
+
+  // Registers the generation-0 chains and schedules the periodic scan.
+  void Start();
+  // Scanning stops once this returns true (the combiner's result is ready).
+  void set_done(std::function<bool()> done) { done_ = std::move(done); }
+
+  // Routed by the owning combiner from its message handler.
+  void OnHeartbeat(const OperatorHeartbeatMsg& msg);
+  void OnRecruitAck(const RecruitAckMsg& msg);
+  // Called when the combiner accepts a partial for (partition, vgroup).
+  void NotePartialDelivered(uint32_t partition, uint32_t vgroup,
+                            uint32_t epoch);
+
+  // Fail-safe early termination: requested when live complete partitions
+  // dropped below n and repair is infeasible (no budget or no spares).
+  bool abort_requested() const { return abort_requested_; }
+  // Absolute simulation time of the abort decision (strictly before the
+  // deadline); kSimTimeNever when no abort was requested.
+  SimTime abort_time() const { return abort_time_; }
+
+  uint64_t detections() const { return detector_.detections(); }
+  uint32_t repairs_attempted() const { return repairs_attempted_; }
+  uint32_t repairs_succeeded() const { return repairs_succeeded_; }
+  size_t spares_used() const { return spare_next_; }
+
+ private:
+  // One (partition, vgroup) chain: the operators currently responsible for
+  // it (originals or the latest recruits) and its delivery state.
+  struct Chain {
+    uint64_t builder_op = 0;
+    uint64_t computer_op = 0;
+    uint32_t epoch = 0;  // 0 = original generation
+    net::NodeId builder_node = 0;
+    net::NodeId computer_node = 0;
+    bool delivered = false;
+    bool builder_acked = true;   // recruits start false until RecruitAck
+    bool computer_acked = true;
+    bool resolicited = false;
+    bool repair_counted = false;
+  };
+
+  void Tick();
+  bool ChainBroken(const Chain& chain) const;
+  // Time + spare-pool feasibility of repairing `broken_chains` chains now.
+  bool RepairFeasible(SimTime now, int broken_chains) const;
+  void RepairPartition(uint32_t partition, SimTime now);
+  void SendRecruit(RecruitRole role, net::NodeId to, uint32_t partition,
+                   uint32_t vgroup, uint32_t epoch, net::NodeId peer);
+  void Resolicit(uint32_t partition, uint32_t vgroup, net::NodeId builder);
+  void FailSafe(SimTime now, int missing);
+
+  net::SimEngine* sim_;
+  device::Device* dev_;
+  Config config_;
+  resilience::FailureDetector detector_;
+  std::function<bool()> done_;
+  std::vector<std::vector<Chain>> chains_;  // [partition][vgroup]
+  size_t spare_next_ = 0;
+  uint32_t next_epoch_ = kRepairEpochBase;
+  uint32_t repairs_attempted_ = 0;
+  uint32_t repairs_succeeded_ = 0;
+  bool abort_requested_ = false;
+  SimTime abort_time_ = kSimTimeNever;
+};
+
+// A reserved spare edgelet, provisioned with the published query plan but
+// idle until recruited. On kRecruit it instantiates the assigned inner
+// actor (snapshot builder or computer) on its device, acks the controller,
+// and from then on forwards protocol traffic to the inner actor.
+class SpareActor : public ActorBase {
+ public:
+  struct Config {
+    uint64_t query_id = 0;
+    uint64_t quota = 0;  // ceil(C/n), as for original builders
+    query::GroupingSetsSpec gs_spec;
+    std::vector<std::vector<std::string>> vgroup_columns;
+    std::vector<std::vector<size_t>> vgroup_set_indices;
+    std::vector<net::NodeId> combiners;
+    SimTime stop_at = kSimTimeNever;
+    SimDuration liveness_period = 5 * kSecond;
+    int emission_resends = 2;
+    SimDuration resend_interval = kDefaultResendInterval;
+    ExecutionTrace* trace = nullptr;
+  };
+
+  SpareActor(net::SimEngine* sim, device::Device* dev, Config config);
+  ~SpareActor() override;
+
+  bool recruited() const { return recruited_; }
+  RecruitRole role() const { return assignment_.role; }
+  uint32_t partition() const { return assignment_.partition; }
+  uint32_t vgroup() const { return assignment_.vgroup; }
+  uint32_t epoch() const { return assignment_.epoch; }
+  // Non-null iff recruited into the respective role.
+  const SnapshotBuilderActor* builder() const { return builder_.get(); }
+  const ComputerActor* computer() const { return computer_.get(); }
+
+ protected:
+  void HandleMessage(const net::Message& msg) override;
+
+ private:
+  void OnRecruit(const net::Message& msg);
+  void SendAck();
+
+  Config config_;
+  bool recruited_ = false;
+  RecruitMsg assignment_;
+  std::unique_ptr<SnapshotBuilderActor> builder_;
+  std::unique_ptr<ComputerActor> computer_;
+};
+
+}  // namespace edgelet::exec
+
+#endif  // EDGELET_EXEC_REPAIR_H_

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "device/device.h"
+#include "exec/defaults.h"
 #include "exec/protocol.h"
 #include "net/simulator.h"
 
@@ -25,8 +26,8 @@ class ReplicaRole {
     uint64_t group_id = 0;
     // Rank-ordered members; must contain the owning device's id.
     std::vector<net::NodeId> members;
-    SimDuration ping_period = 5 * kSecond;
-    SimDuration failover_timeout = 15 * kSecond;
+    SimDuration ping_period = kDefaultPingPeriod;
+    SimDuration failover_timeout = kDefaultFailoverTimeout;
     // Ping/monitor loop stops after this time (the query deadline);
     // prevents an idle replica group from keeping the simulation alive.
     SimTime stop_at = kSimTimeNever;

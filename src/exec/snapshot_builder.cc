@@ -24,7 +24,13 @@ SnapshotBuilderActor::SnapshotBuilderActor(net::SimEngine* sim,
   });
 }
 
-void SnapshotBuilderActor::Start() { replica_->Start(); }
+void SnapshotBuilderActor::Start() {
+  replica_->Start();
+  if (config_.liveness.enabled) {
+    beacon_ = std::make_unique<LivenessBeacon>(sim(), dev(), config_.liveness);
+    beacon_->Start();
+  }
+}
 
 void SnapshotBuilderActor::HandleMessage(const net::Message& msg) {
   switch (msg.type) {
@@ -109,7 +115,7 @@ void SnapshotBuilderActor::EmitSlice() {
   msg.query_id = config_.query_id;
   msg.partition = config_.partition;
   msg.vgroup = config_.vgroup;
-  msg.epoch = replica_->rank();
+  msg.epoch = emit_epoch();
   msg.rows = buffer_;
   SealAndSendAll(config_.computers, kSnapshotSlice, msg.Encode());
 }

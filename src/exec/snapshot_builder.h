@@ -32,7 +32,15 @@ class SnapshotBuilderActor : public ActorBase {
     ExecutionTrace* trace = nullptr;
     // Extra re-emissions of the slice (lossy links; computers dedup).
     int emission_resends = 0;
-    SimDuration resend_interval = 15 * kSecond;
+    SimDuration resend_interval = kDefaultResendInterval;
+    // Repair subsystem: emit slices under this epoch instead of the
+    // replica rank (< 0 = use the rank). Recruited builders get a unique
+    // repair-generation epoch so their sample can never be confused with a
+    // dead original's.
+    int64_t epoch_override = -1;
+    // Liveness lease renewals toward the repair controller (off unless the
+    // execution enables repair).
+    LivenessBeacon::Config liveness;
   };
 
   SnapshotBuilderActor(net::SimEngine* sim, device::Device* dev,
@@ -47,6 +55,13 @@ class SnapshotBuilderActor : public ActorBase {
     return included_;
   }
   uint32_t rank() const { return replica_->rank(); }
+  // The epoch this builder stamps on emitted slices (rank, unless a
+  // repair-generation override is set).
+  uint32_t emit_epoch() const {
+    return config_.epoch_override >= 0
+               ? static_cast<uint32_t>(config_.epoch_override)
+               : replica_->rank();
+  }
 
  protected:
   void HandleMessage(const net::Message& msg) override;
@@ -59,6 +74,7 @@ class SnapshotBuilderActor : public ActorBase {
 
   Config config_;
   std::unique_ptr<ReplicaRole> replica_;
+  std::unique_ptr<LivenessBeacon> beacon_;
   data::Table buffer_;
   bool have_schema_ = false;
   bool complete_ = false;

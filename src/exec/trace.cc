@@ -27,6 +27,16 @@ std::string_view TraceEventKindName(TraceEventKind kind) {
       return "device-killed";
     case TraceEventKind::kLeaderFailover:
       return "leader-failover";
+    case TraceEventKind::kFailureSuspected:
+      return "failure-suspected";
+    case TraceEventKind::kRecruitSent:
+      return "recruit-sent";
+    case TraceEventKind::kRecruitAcked:
+      return "recruit-acked";
+    case TraceEventKind::kChainRepaired:
+      return "chain-repaired";
+    case TraceEventKind::kEarlyAbort:
+      return "early-abort";
   }
   return "?";
 }

@@ -27,6 +27,11 @@ enum class TraceEventKind : uint8_t {
   kResultDelivered = 7,
   kDeviceKilled = 8,
   kLeaderFailover = 9,
+  kFailureSuspected = 10,
+  kRecruitSent = 11,
+  kRecruitAcked = 12,
+  kChainRepaired = 13,
+  kEarlyAbort = 14,
 };
 
 std::string_view TraceEventKindName(TraceEventKind kind);

@@ -1,0 +1,96 @@
+#include "resilience/failure_detector.h"
+
+#include <cmath>
+
+namespace edgelet::resilience {
+
+FailureDetector::FailureDetector(FailureDetectorConfig config)
+    : config_(config) {
+  if (config_.lease_period <= 0) config_.lease_period = kSecond;
+  if (config_.miss_threshold < 1) config_.miss_threshold = 1;
+  if (config_.suspicion_backoff < 1.0) config_.suspicion_backoff = 1.0;
+  if (config_.max_backoff_steps < 0) config_.max_backoff_steps = 0;
+  if (config_.jitter_fraction < 0) config_.jitter_fraction = 0;
+}
+
+SimDuration FailureDetector::LeaseFor(const OpState& op) const {
+  double mult = std::pow(config_.suspicion_backoff, op.backoff_steps);
+  double base = static_cast<double>(config_.lease_period) *
+                config_.miss_threshold * mult;
+  return static_cast<SimDuration>(base);
+}
+
+void FailureDetector::DrawJitter(OpState* op) {
+  if (config_.jitter_fraction <= 0) {
+    op->jitter = 0;
+    return;
+  }
+  auto span = static_cast<uint64_t>(
+      static_cast<double>(config_.lease_period) * config_.miss_threshold *
+      config_.jitter_fraction);
+  op->jitter =
+      span > 0 ? static_cast<SimDuration>(op->rng.NextBelow(span + 1)) : 0;
+}
+
+void FailureDetector::Register(uint64_t op_id, SimTime now) {
+  OpState op;
+  op.last_heartbeat = now;
+  op.rng = NodeRng(config_.seed, op_id);
+  DrawJitter(&op);
+  ops_[op_id] = std::move(op);
+}
+
+void FailureDetector::Deregister(uint64_t op_id) { ops_.erase(op_id); }
+
+void FailureDetector::Heartbeat(uint64_t op_id, SimTime now) {
+  auto it = ops_.find(op_id);
+  if (it == ops_.end()) return;
+  OpState& op = it->second;
+  if (op.suspected) {
+    // The operator was alive after all: widen its lease so it stops
+    // flapping in and out of suspicion.
+    op.suspected = false;
+    ++false_suspicions_;
+    if (op.backoff_steps < config_.max_backoff_steps) ++op.backoff_steps;
+  }
+  op.last_heartbeat = now;
+  DrawJitter(&op);
+}
+
+std::vector<uint64_t> FailureDetector::Scan(SimTime now) {
+  std::vector<uint64_t> newly;
+  for (auto& [id, op] : ops_) {
+    if (op.suspected) continue;
+    if (now > op.last_heartbeat + LeaseFor(op) + op.jitter) {
+      op.suspected = true;
+      ++detections_;
+      newly.push_back(id);
+    }
+  }
+  return newly;
+}
+
+bool FailureDetector::IsRegistered(uint64_t op_id) const {
+  return ops_.count(op_id) != 0;
+}
+
+bool FailureDetector::IsSuspected(uint64_t op_id) const {
+  auto it = ops_.find(op_id);
+  return it != ops_.end() && it->second.suspected;
+}
+
+SimTime FailureDetector::SuspicionDeadline(uint64_t op_id) const {
+  auto it = ops_.find(op_id);
+  if (it == ops_.end()) return kSimTimeNever;
+  return it->second.last_heartbeat + LeaseFor(it->second) + it->second.jitter;
+}
+
+size_t FailureDetector::suspected_count() const {
+  size_t count = 0;
+  for (const auto& [id, op] : ops_) {
+    if (op.suspected) ++count;
+  }
+  return count;
+}
+
+}  // namespace edgelet::resilience

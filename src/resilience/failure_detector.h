@@ -1,0 +1,95 @@
+#ifndef EDGELET_RESILIENCE_FAILURE_DETECTOR_H_
+#define EDGELET_RESILIENCE_FAILURE_DETECTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sim_time.h"
+
+namespace edgelet::resilience {
+
+// Knobs of the heartbeat/lease failure detector ("Dependability in Edge
+// Computing": online detection + reconfiguration instead of static
+// over-provisioning alone).
+struct FailureDetectorConfig {
+  // Expected heartbeat cadence of a monitored operator.
+  SimDuration lease_period = 5 * kSecond;
+  // Consecutive missed periods before an operator is suspected. The base
+  // lease is lease_period * miss_threshold.
+  int miss_threshold = 3;
+  // A heartbeat from a suspected operator is a false suspicion: the
+  // operator's lease widens by this factor (capped at max_backoff_steps
+  // applications) so a slow-but-alive operator stops flapping.
+  double suspicion_backoff = 2.0;
+  int max_backoff_steps = 3;
+  // Deterministic per-operator jitter added to the suspicion deadline,
+  // as a fraction of the base lease. Drawn from the operator's own
+  // counter-based NodeRng stream (seed, op_id), so the jitter a given
+  // operator sees never depends on how other operators' draws interleave
+  // — the detector replays bit-identically for any parsim shard count.
+  double jitter_fraction = 0.1;
+  uint64_t seed = 0;
+};
+
+// Deterministic lease-based failure detector. Pure state machine: the
+// owner (the repair controller, running in its own simulation-event
+// context) feeds it Register/Heartbeat/Scan calls in simulated time; it
+// never touches the network or the engine itself.
+//
+// An operator is *suspected* once `now` passes its suspicion deadline:
+//   last_heartbeat + lease_period * miss_threshold * backoff^steps + jitter.
+// Suspicion is sticky until a heartbeat arrives (a false suspicion), which
+// clears it and widens the lease.
+class FailureDetector {
+ public:
+  explicit FailureDetector(FailureDetectorConfig config);
+
+  // Starts monitoring an operator; its lease opens at `now`. Re-registering
+  // an existing op id resets its lease and suspicion state.
+  void Register(uint64_t op_id, SimTime now);
+  void Deregister(uint64_t op_id);
+
+  // Records a heartbeat from an operator (ignored if unregistered). A
+  // heartbeat from a currently-suspected operator counts as a false
+  // suspicion: clears it and applies lease backoff.
+  void Heartbeat(uint64_t op_id, SimTime now);
+
+  // Returns the op ids whose lease newly expired as of `now`, in op-id
+  // order (std::map iteration — deterministic). Each suspicion is reported
+  // exactly once until cleared by a heartbeat.
+  std::vector<uint64_t> Scan(SimTime now);
+
+  bool IsRegistered(uint64_t op_id) const;
+  bool IsSuspected(uint64_t op_id) const;
+  // Suspicion deadline of a registered operator (kSimTimeNever if absent).
+  SimTime SuspicionDeadline(uint64_t op_id) const;
+
+  size_t monitored_count() const { return ops_.size(); }
+  size_t suspected_count() const;
+  // Total suspicion transitions (including ones later proven false).
+  uint64_t detections() const { return detections_; }
+  uint64_t false_suspicions() const { return false_suspicions_; }
+
+ private:
+  struct OpState {
+    SimTime last_heartbeat = 0;
+    int backoff_steps = 0;
+    bool suspected = false;
+    NodeRng rng;
+    SimDuration jitter = 0;
+  };
+
+  SimDuration LeaseFor(const OpState& op) const;
+  void DrawJitter(OpState* op);
+
+  FailureDetectorConfig config_;
+  std::map<uint64_t, OpState> ops_;
+  uint64_t detections_ = 0;
+  uint64_t false_suspicions_ = 0;
+};
+
+}  // namespace edgelet::resilience
+
+#endif  // EDGELET_RESILIENCE_FAILURE_DETECTOR_H_

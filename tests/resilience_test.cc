@@ -5,9 +5,37 @@
 #include <cmath>
 
 #include "common/rng.h"
+#include "resilience/failure_detector.h"
 
 namespace edgelet::resilience {
 namespace {
+
+// Independent reference for the binomial tail, written against a different
+// formulation than the library's (log-space term recursion there; direct
+// lgamma-based log-PMF summation here) so a shared algebra slip cannot
+// cancel out.
+double RefProbAtLeast(int need, int total, double s) {
+  if (need <= 0) return 1.0;
+  if (need > total) return 0.0;
+  if (s <= 0.0) return 0.0;
+  if (s >= 1.0) return 1.0;
+  double sum = 0.0;
+  for (int k = need; k <= total; ++k) {
+    double log_pmf = std::lgamma(total + 1.0) - std::lgamma(k + 1.0) -
+                     std::lgamma(total - k + 1.0) + k * std::log(s) +
+                     (total - k) * std::log1p(-s);
+    sum += std::exp(log_pmf);
+  }
+  return std::min(sum, 1.0);
+}
+
+// Reference minimal-m search against RefProbAtLeast.
+int RefMinOvercollection(int n, double p, double target, int ops) {
+  double s = std::pow(1.0 - p, ops);
+  for (int m = 0;; ++m) {
+    if (RefProbAtLeast(n, n + m, s) >= target) return m;
+  }
+}
 
 TEST(ProbAtLeastTest, DegenerateCases) {
   EXPECT_DOUBLE_EQ(ProbAtLeast(0, 10, 0.5), 1.0);
@@ -165,6 +193,165 @@ TEST(PartitionSurvivalTest, Basics) {
   EXPECT_DOUBLE_EQ(PartitionSurvivalProbability(0.0, 3), 1.0);
   EXPECT_NEAR(PartitionSurvivalProbability(0.1, 2), 0.81, 1e-12);
   EXPECT_DOUBLE_EQ(PartitionSurvivalProbability(1.0, 1), 0.0);
+}
+
+// Pins the planner's Overcollection sizing against the independent
+// reference: a partition with v vertical groups runs 2*v single-instance
+// operators (one builder AND one computer per group), and MinOvercollection
+// fed ops_per_partition = 2*v must agree with a from-scratch minimal-m
+// search for every vgroups count the planner produces.
+TEST(MinOvercollectionTest, BinomialSizingMatchesIndependentReference) {
+  for (int vgroups : {1, 2, 3}) {
+    for (double p : {0.05, 0.1, 0.25}) {
+      for (int n : {2, 8, 20}) {
+        const int ops = 2 * vgroups;
+        auto m = MinOvercollection(n, p, 0.99, ops);
+        ASSERT_TRUE(m.ok()) << "vgroups=" << vgroups << " p=" << p;
+        EXPECT_EQ(*m, RefMinOvercollection(n, p, 0.99, ops))
+            << "vgroups=" << vgroups << " p=" << p << " n=" << n;
+      }
+    }
+  }
+}
+
+// The sizing bug the planner fix removes: modeling a v-vgroup partition as
+// 1 + v operators (as if its builders shared one device) overstates the
+// partition survival probability, so the resulting m misses the
+// reliability target for every multi-vgroup plan. At v = 1 the two
+// formulas coincide (1 + 1 == 2 * 1).
+TEST(MinOvercollectionTest, OldOnePlusVgroupsFormulaUnderProvisions) {
+  EXPECT_EQ(2 * 1, 1 + 1);
+  bool any_under = false;
+  for (int vgroups : {2, 3}) {
+    for (double p : {0.1, 0.25}) {
+      const int n = 10;
+      auto m_old = MinOvercollection(n, p, 0.99, /*ops=*/1 + vgroups);
+      ASSERT_TRUE(m_old.ok());
+      // True per-partition survival: all 2*v operators alive.
+      double s_true = std::pow(1.0 - p, 2 * vgroups);
+      double achieved = RefProbAtLeast(n, n + *m_old, s_true);
+      EXPECT_LE(achieved, 0.99 + 1e-12)
+          << "old formula accidentally sufficient at vgroups=" << vgroups
+          << " p=" << p;
+      if (achieved < 0.99) any_under = true;
+    }
+  }
+  EXPECT_TRUE(any_under)
+      << "old formula never actually missed the target in this sweep";
+}
+
+// ---------------------------------------------------------------------------
+// Heartbeat/lease failure detector.
+
+FailureDetectorConfig DetectorConfig() {
+  FailureDetectorConfig cfg;
+  cfg.lease_period = 5 * kSecond;
+  cfg.miss_threshold = 3;
+  cfg.suspicion_backoff = 2.0;
+  cfg.max_backoff_steps = 3;
+  cfg.jitter_fraction = 0.1;
+  cfg.seed = 42;
+  return cfg;
+}
+
+TEST(FailureDetectorTest, SuspectsAfterLeaseExpiry) {
+  FailureDetector fd(DetectorConfig());
+  fd.Register(1, /*now=*/0);
+  // Base lease = 15 s plus up to 1.5 s jitter.
+  SimTime deadline = fd.SuspicionDeadline(1);
+  EXPECT_GE(deadline, 15 * kSecond);
+  EXPECT_LE(deadline, 15 * kSecond + 1500 * kMillisecond);
+  EXPECT_TRUE(fd.Scan(deadline).empty());
+  auto suspects = fd.Scan(deadline + 1);
+  ASSERT_EQ(suspects.size(), 1u);
+  EXPECT_EQ(suspects[0], 1u);
+  EXPECT_TRUE(fd.IsSuspected(1));
+  EXPECT_EQ(fd.detections(), 1u);
+  // Reported exactly once until cleared.
+  EXPECT_TRUE(fd.Scan(deadline + 10 * kSecond).empty());
+}
+
+TEST(FailureDetectorTest, HeartbeatRenewsLease) {
+  FailureDetector fd(DetectorConfig());
+  fd.Register(1, /*now=*/0);
+  for (int beat = 1; beat <= 10; ++beat) {
+    fd.Heartbeat(1, beat * 5 * kSecond);
+    EXPECT_TRUE(fd.Scan(beat * 5 * kSecond).empty());
+  }
+  EXPECT_FALSE(fd.IsSuspected(1));
+  EXPECT_EQ(fd.detections(), 0u);
+  EXPECT_GT(fd.SuspicionDeadline(1), 50 * kSecond + 15 * kSecond);
+}
+
+TEST(FailureDetectorTest, FalseSuspicionWidensLease) {
+  FailureDetector fd(DetectorConfig());
+  fd.Register(1, /*now=*/0);
+  SimTime first_deadline = fd.SuspicionDeadline(1);
+  ASSERT_EQ(fd.Scan(first_deadline + 1).size(), 1u);
+  // The "dead" operator speaks: false suspicion, lease doubles.
+  SimTime beat = first_deadline + 2 * kSecond;
+  fd.Heartbeat(1, beat);
+  EXPECT_FALSE(fd.IsSuspected(1));
+  EXPECT_EQ(fd.false_suspicions(), 1u);
+  SimTime widened = fd.SuspicionDeadline(1);
+  // New lease ~= 2 * 15 s (+ jitter) from the heartbeat.
+  EXPECT_GE(widened - beat, 30 * kSecond);
+  EXPECT_LE(widened - beat, 30 * kSecond + 3 * kSecond);
+  // Backoff saturates at max_backoff_steps (lease <= 15 s * 2^3 + jitter).
+  for (int i = 0; i < 10; ++i) {
+    SimTime d = fd.SuspicionDeadline(1);
+    fd.Scan(d + 1);
+    fd.Heartbeat(1, d + 2);
+  }
+  SimTime last_beat = fd.SuspicionDeadline(1);  // probe via one more beat
+  fd.Heartbeat(1, last_beat);
+  EXPECT_LE(fd.SuspicionDeadline(1) - last_beat,
+            15 * kSecond * 8 + 12 * kSecond);
+}
+
+TEST(FailureDetectorTest, DeterministicAcrossInstancesAndOrder) {
+  // Two detectors with the same seed must assign each op the same jitter
+  // regardless of registration order: the stream is keyed by op id alone.
+  FailureDetector a(DetectorConfig());
+  FailureDetector b(DetectorConfig());
+  a.Register(1, 0);
+  a.Register(2, 0);
+  a.Register(3, 0);
+  b.Register(3, 0);
+  b.Register(1, 0);
+  b.Register(2, 0);
+  for (uint64_t op : {1u, 2u, 3u}) {
+    EXPECT_EQ(a.SuspicionDeadline(op), b.SuspicionDeadline(op)) << op;
+  }
+  // Scan reports in op-id order independent of registration order.
+  EXPECT_EQ(a.Scan(100 * kSecond), b.Scan(100 * kSecond));
+}
+
+TEST(FailureDetectorTest, DeregisterStopsMonitoring) {
+  FailureDetector fd(DetectorConfig());
+  fd.Register(1, 0);
+  fd.Register(2, 0);
+  EXPECT_EQ(fd.monitored_count(), 2u);
+  fd.Deregister(1);
+  EXPECT_EQ(fd.monitored_count(), 1u);
+  EXPECT_FALSE(fd.IsRegistered(1));
+  EXPECT_EQ(fd.SuspicionDeadline(1), kSimTimeNever);
+  auto suspects = fd.Scan(100 * kSecond);
+  ASSERT_EQ(suspects.size(), 1u);
+  EXPECT_EQ(suspects[0], 2u);
+}
+
+TEST(FailureDetectorTest, ReRegisterResetsLeaseAndSuspicion) {
+  FailureDetector fd(DetectorConfig());
+  fd.Register(1, 0);
+  ASSERT_EQ(fd.Scan(100 * kSecond).size(), 1u);
+  EXPECT_TRUE(fd.IsSuspected(1));
+  // Re-registration (the repair controller replacing the operator's
+  // generation) opens a fresh lease.
+  fd.Register(1, 100 * kSecond);
+  EXPECT_FALSE(fd.IsSuspected(1));
+  EXPECT_GE(fd.SuspicionDeadline(1), 100 * kSecond + 15 * kSecond);
+  EXPECT_TRUE(fd.Scan(100 * kSecond).empty());
 }
 
 }  // namespace
