@@ -1,10 +1,14 @@
 #include "device/fleet.h"
 
+#include <algorithm>
+
 namespace edgelet::device {
 
 Fleet::Fleet(net::Network* network, const tee::TrustAuthority* authority,
              const FleetConfig& config, uint64_t seed)
-    : enable_churn_(config.enable_churn) {
+    : enable_churn_(config.enable_churn),
+      contributor_members_(config.num_contributors),
+      cohort_size_(std::max<size_t>(1, config.contributor_cohort_size)) {
   Rng rng(seed);
   auto make = [&](const DeviceMix& mix) {
     DeviceProfile profile = SampleProfile(mix, &rng);
@@ -16,8 +20,10 @@ Fleet::Fleet(net::Network* network, const tee::TrustAuthority* authority,
     by_node_.emplace(raw->id(), raw);
     return raw;
   };
-  contributors_.reserve(config.num_contributors);
-  for (size_t i = 0; i < config.num_contributors; ++i) {
+  const size_t contributor_devices =
+      (contributor_members_ + cohort_size_ - 1) / cohort_size_;
+  contributors_.reserve(contributor_devices);
+  for (size_t i = 0; i < contributor_devices; ++i) {
     contributors_.push_back(make(config.contributor_mix));
   }
   processors_.reserve(config.num_processors);
@@ -41,15 +47,21 @@ Device* Fleet::by_node(net::NodeId id) const {
 }
 
 Status Fleet::DistributeData(const data::Table& table) {
-  if (table.num_rows() != contributors_.size()) {
+  if (table.num_rows() != contributor_members_) {
     return Status::InvalidArgument(
         "row count " + std::to_string(table.num_rows()) +
-        " != contributor count " + std::to_string(contributors_.size()));
+        " != contributor member count " +
+        std::to_string(contributor_members_));
   }
-  for (size_t i = 0; i < contributors_.size(); ++i) {
-    data::Table one(table.schema());
-    one.AppendUnchecked(table.row(i));
-    contributors_[i]->SetLocalData(std::move(one));
+  // Row i belongs to member i; device d hosts the contiguous block
+  // [d * cohort_size, ...) — one row per device in the classic fleet.
+  size_t row = 0;
+  for (size_t d = 0; d < contributors_.size(); ++d) {
+    data::Table block(table.schema());
+    for (size_t k = 0; k < cohort_size_ && row < table.num_rows(); ++k) {
+      block.AppendUnchecked(table.row(row++));
+    }
+    contributors_[d]->SetLocalData(std::move(block));
   }
   return Status::OK();
 }

@@ -20,6 +20,13 @@ struct DeviceMix {
 struct FleetConfig {
   size_t num_contributors = 100;
   size_t num_processors = 32;
+  // Contributor-only individuals folded per device: the fleet creates
+  // ceil(num_contributors / contributor_cohort_size) contributor devices,
+  // each hosting that many members' rows (exec::CohortActor replays their
+  // individual contributions). 1 = the classic one-device-per-contributor
+  // fleet. Memory becomes O(operators + cohorts) instead of O(devices) —
+  // the knob that unlocks million-member sweeps.
+  size_t contributor_cohort_size = 1;
   DeviceMix contributor_mix;
   DeviceMix processor_mix;
   // When false, devices never churn on their own (useful for isolating
@@ -36,8 +43,14 @@ class Fleet {
   Fleet(net::Network* network, const tee::TrustAuthority* authority,
         const FleetConfig& config, uint64_t seed);
 
+  // Contributor DEVICES: one per individual in the classic fleet, one per
+  // cohort when contributor_cohort_size > 1.
   const std::vector<Device*>& contributors() const { return contributors_; }
   const std::vector<Device*>& processors() const { return processors_; }
+  // Individuals represented by the contributor devices (== num_contributors
+  // from the config; >= contributors().size()).
+  size_t contributor_members() const { return contributor_members_; }
+  size_t cohort_size() const { return cohort_size_; }
   Device* by_node(net::NodeId id) const;
   size_t size() const { return devices_.size(); }
 
@@ -47,8 +60,10 @@ class Fleet {
     by_node_.emplace(device->id(), device);
   }
 
-  // Loads one table row per contributor (row i -> contributor i). The row
-  // count must equal num_contributors.
+  // Loads the population onto the contributor devices: row i belongs to
+  // member i, and each device receives its members' contiguous row block
+  // (one row per device in the classic fleet). The row count must equal
+  // contributor_members().
   Status DistributeData(const data::Table& table);
 
   // Provisions every enclave with the query-group key (models remote
@@ -63,6 +78,8 @@ class Fleet {
   std::vector<Device*> processors_;
   std::unordered_map<net::NodeId, Device*> by_node_;
   bool enable_churn_;
+  size_t contributor_members_ = 0;
+  size_t cohort_size_ = 1;
 };
 
 // Crash-failure plan: each target dies at a uniform time inside the window

@@ -1,0 +1,120 @@
+#include "exec/cohort.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "data/partition.h"
+
+namespace edgelet::exec {
+
+CohortActor::CohortActor(net::SimEngine* sim, device::Device* dev,
+                         Config config)
+    : ActorBase(sim, dev), config_(std::move(config)) {}
+
+void CohortActor::Start() {
+  if (config_.members.empty()) return;
+  // Canonical member order: contact time, then row. The chained loop
+  // below walks this order, so every member's sends — and thus every
+  // latency/loss draw from the host's NodeRng — happen in a sequence
+  // fixed by the member set alone.
+  std::sort(config_.members.begin(), config_.members.end(),
+            [](const Member& a, const Member& b) {
+              if (a.send_at != b.send_at) return a.send_at < b.send_at;
+              return a.row < b.row;
+            });
+  sim()->ScheduleAt(dev()->id(), config_.members.front().send_at,
+                    [this]() { ContributeFrom(0); });
+}
+
+void CohortActor::ContributeFrom(size_t index) {
+  // Drain every member whose contact time has arrived, then park a single
+  // event for the next one: the cohort never holds more than one timer.
+  while (index < config_.members.size() &&
+         config_.members[index].send_at <= sim()->now()) {
+    if (ContributeMember(config_.members[index])) ++members_contributed_;
+    ++index;
+  }
+  if (index < config_.members.size()) {
+    sim()->ScheduleAt(dev()->id(), config_.members[index].send_at,
+                      [this, index]() { ContributeFrom(index); });
+  }
+}
+
+bool CohortActor::ContributeMember(const Member& member) {
+  const data::Table& local = dev()->local_data();
+  if (member.row >= local.num_rows()) return false;
+  data::Table one(local.schema());
+  one.AppendUnchecked(local.row(member.row));
+
+  auto qualified = query::ApplyPredicates(one, config_.predicates);
+  if (!qualified.ok()) {
+    EDGELET_LOG(kWarning) << "cohort " << dev()->id() << " member "
+                          << member.contributor_key << " predicate error: "
+                          << qualified.status().ToString();
+    return false;
+  }
+  if (qualified->empty()) return false;  // the member's data does not qualify
+
+  uint32_t partition = data::PartitionForKey(
+      member.contributor_key, static_cast<uint32_t>(config_.builders.size()));
+  for (size_t vg = 0; vg < config_.vgroup_columns.size(); ++vg) {
+    auto projected = qualified->Project(config_.vgroup_columns[vg]);
+    if (!projected.ok()) {
+      EDGELET_LOG(kWarning) << "cohort " << dev()->id() << " member "
+                            << member.contributor_key << " projection error: "
+                            << projected.status().ToString();
+      return false;
+    }
+    ContributionMsg msg;
+    msg.query_id = config_.query_id;
+    msg.contributor_key = member.contributor_key;
+    msg.rows = std::move(*projected);
+    SealAndSendAll(config_.builders[partition][vg], kContribution,
+                   msg.Encode());
+  }
+  if (config_.trace != nullptr) {
+    config_.trace->Record(sim()->now(), TraceEventKind::kContributionSent,
+                          dev()->id());
+  }
+  return true;
+}
+
+void CohortActor::HandleMessage(const net::Message& msg) {
+  if (msg.type == kResolicit) OnResolicit(msg);
+}
+
+void CohortActor::OnResolicit(const net::Message& msg) {
+  if (!OpenSealed(msg).ok()) return;
+  auto req = ResolicitMsg::Decode(opened_payload());
+  if (!req.ok() || req->query_id != config_.query_id) return;
+  if (req->vgroup >= config_.vgroup_columns.size()) return;
+  const data::Table& local = dev()->local_data();
+  // Fan the request out over the members: exactly those hashing into the
+  // rebuilt partition may re-offer their row (same rule as
+  // ContributorActor::OnResolicit, applied per member).
+  for (const Member& member : config_.members) {
+    uint32_t partition = data::PartitionForKey(
+        member.contributor_key,
+        static_cast<uint32_t>(config_.builders.size()));
+    if (partition != req->partition) continue;
+    if (member.row >= local.num_rows()) continue;
+    data::Table one(local.schema());
+    one.AppendUnchecked(local.row(member.row));
+    auto qualified = query::ApplyPredicates(one, config_.predicates);
+    if (!qualified.ok() || qualified->empty()) continue;
+    auto projected = qualified->Project(config_.vgroup_columns[req->vgroup]);
+    if (!projected.ok()) continue;
+    ContributionMsg out;
+    out.query_id = config_.query_id;
+    out.contributor_key = member.contributor_key;
+    out.rows = std::move(*projected);
+    SealAndSend(req->builder, kContribution, out.Encode());
+    if (config_.trace != nullptr) {
+      config_.trace->Record(sim()->now(), TraceEventKind::kContributionSent,
+                            dev()->id(), static_cast<int>(req->partition),
+                            static_cast<int>(req->vgroup), "re-solicited");
+    }
+  }
+}
+
+}  // namespace edgelet::exec

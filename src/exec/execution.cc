@@ -101,6 +101,41 @@ Status QueryExecution::Start() {
 Status QueryExecution::BuildContributors() {
   const auto& query = deployment_.query;
   Rng rng(Mix64(config_.seed) ^ 0xC0117B);
+  if (fleet_->cohort_size() > 1) {
+    // Cohort fleet: one super-node actor per contributor device, one
+    // Member per hosted row. Contact times are drawn from the same global
+    // stream in member (= data row) order, exactly as the individual path
+    // draws them in fleet order.
+    for (device::Device* dev : fleet_->contributors()) {
+      CohortActor::Config cfg;
+      cfg.query_id = query.query_id;
+      cfg.predicates = query.predicates;
+      cfg.vgroup_columns = deployment_.vgroup_columns;
+      cfg.builders = deployment_.sb_groups;
+      cfg.trace = trace_.get();
+      const data::Table& local = dev->local_data();
+      cfg.members.reserve(local.num_rows());
+      for (size_t r = 0; r < local.num_rows(); ++r) {
+        CohortActor::Member member;
+        member.row = static_cast<uint32_t>(r);
+        // Per-member key from the record itself; rows without one get a
+        // (device, row)-derived key that stays unique across the fleet.
+        member.contributor_key = (dev->id() << 20) | r;
+        auto key = local.At(r, data::kContributorIdColumn);
+        if (key.ok() && !key->is_null()) {
+          member.contributor_key = static_cast<uint64_t>(key->AsInt64());
+        }
+        member.send_at = base_ + (config_.collection_window > 0
+                                      ? rng.NextBelow(config_.collection_window)
+                                      : 0);
+        cfg.members.push_back(member);
+      }
+      auto actor = std::make_unique<CohortActor>(sim_, dev, std::move(cfg));
+      actor->Start();
+      cohorts_.push_back(std::move(actor));
+    }
+    return Status::OK();
+  }
   for (device::Device* dev : fleet_->contributors()) {
     ContributorActor::Config cfg;
     cfg.query_id = query.query_id;
@@ -300,6 +335,11 @@ Status QueryExecution::BuildCombiners() {
       for (const auto& c : contributors_) {
         rc.contributors.push_back(c->dev()->id());
       }
+      // Cohort fleets: the controller re-solicits cohort devices; the
+      // actor fans the request out to its members in the hit partition.
+      for (const auto& c : cohorts_) {
+        rc.contributors.push_back(c->dev()->id());
+      }
       rc.trace = trace_.get();
       cfg.repair = std::move(rc);
     }
@@ -432,6 +472,9 @@ void QueryExecution::CollectReport() {
   report_.duplicate_results = querier_->duplicates();
   for (const auto& c : contributors_) {
     if (c->contributed()) ++report_.contributors_participating;
+  }
+  for (const auto& c : cohorts_) {
+    report_.contributors_participating += c->members_contributed();
   }
 
   const net::NetworkStats now = network_->stats();

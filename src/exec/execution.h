@@ -5,6 +5,7 @@
 
 #include "common/serialize.h"
 #include "device/fleet.h"
+#include "exec/cohort.h"
 #include "exec/combiner.h"
 #include "exec/computer.h"
 #include "exec/repair.h"
@@ -183,6 +184,10 @@ class QueryExecution {
   ExecutionConfig config_;
 
   std::vector<std::unique_ptr<ContributorActor>> contributors_;
+  // Cohort fleets (fleet->cohort_size() > 1) get one CohortActor per
+  // contributor device instead; exactly one of these two vectors is
+  // populated.
+  std::vector<std::unique_ptr<CohortActor>> cohorts_;
   // [partition][vgroup][rank].
   std::vector<std::vector<std::vector<std::unique_ptr<SnapshotBuilderActor>>>>
       builders_;

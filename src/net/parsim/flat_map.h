@@ -1,0 +1,128 @@
+#ifndef EDGELET_NET_PARSIM_FLAT_MAP_H_
+#define EDGELET_NET_PARSIM_FLAT_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace edgelet::net::parsim {
+
+// Open-addressing uint64 -> uint64 hash map for the per-shard remote-event
+// index (remote handle -> packed local ticket). Replaces unordered_map,
+// whose per-insert node allocation was the last steady-state allocation on
+// the merge path: this table is two flat arrays with linear probing, so
+// once it has grown to the working-set size, insert/erase never allocate.
+//
+// Key 0 is the empty sentinel. That is safe for this use because remote
+// handles always carry bit 63 (see parallel_simulator.cc RemoteHandle), so
+// a zero key cannot occur. Erase uses backward-shift deletion instead of
+// tombstones: the table never degrades under the merge path's perfectly
+// cyclic insert/erase traffic.
+class FlatMap64 {
+ public:
+  void Reserve(size_t n) {
+    size_t cap = 16;
+    while (cap * 7 < n * 8) cap <<= 1;  // keep load factor under 7/8
+    if (cap > keys_.size()) Rehash(cap);
+  }
+
+  size_t size() const { return size_; }
+
+  // Inserts or overwrites.
+  void Insert(uint64_t key, uint64_t value) {
+    if ((size_ + 1) * 8 > keys_.size() * 7) {
+      Rehash(keys_.empty() ? 16 : keys_.size() * 2);
+    }
+    size_t i = Hash(key) & mask_;
+    while (keys_[i] != 0) {
+      if (keys_[i] == key) {
+        vals_[i] = value;
+        return;
+      }
+      i = (i + 1) & mask_;
+    }
+    keys_[i] = key;
+    vals_[i] = value;
+    ++size_;
+  }
+
+  bool Find(uint64_t key, uint64_t* value_out) const {
+    if (keys_.empty()) return false;
+    size_t i = Hash(key) & mask_;
+    while (keys_[i] != 0) {
+      if (keys_[i] == key) {
+        *value_out = vals_[i];
+        return true;
+      }
+      i = (i + 1) & mask_;
+    }
+    return false;
+  }
+
+  // Removes `key`; stores its value first when found. Backward-shift
+  // deletion: entries displaced past the hole by linear probing slide back
+  // so every remaining entry stays reachable from its home slot.
+  bool Erase(uint64_t key, uint64_t* value_out = nullptr) {
+    if (keys_.empty()) return false;
+    size_t i = Hash(key) & mask_;
+    while (keys_[i] != key) {
+      if (keys_[i] == 0) return false;
+      i = (i + 1) & mask_;
+    }
+    if (value_out != nullptr) *value_out = vals_[i];
+    size_t hole = i;
+    for (;;) {
+      size_t j = (hole + 1) & mask_;
+      while (keys_[j] != 0) {
+        size_t home = Hash(keys_[j]) & mask_;
+        // j's entry may fill the hole only if its home slot does not lie
+        // cyclically in (hole, j] — otherwise moving it would strand it
+        // before its probe start.
+        bool home_between = (hole < j) ? (hole < home && home <= j)
+                                       : (hole < home || home <= j);
+        if (!home_between) break;
+        j = (j + 1) & mask_;
+      }
+      if (keys_[j] == 0) break;
+      keys_[hole] = keys_[j];
+      vals_[hole] = vals_[j];
+      hole = j;
+    }
+    keys_[hole] = 0;
+    --size_;
+    return true;
+  }
+
+ private:
+  // SplitMix64 finalizer: full-avalanche mix so the handle's structured
+  // high bits (dest/src shard) do not cluster probes.
+  static uint64_t Hash(uint64_t x) {
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDull;
+    x ^= x >> 33;
+    x *= 0xC4CEB9FE1A85EC53ull;
+    x ^= x >> 33;
+    return x;
+  }
+
+  void Rehash(size_t new_cap) {
+    std::vector<uint64_t> old_keys = std::move(keys_);
+    std::vector<uint64_t> old_vals = std::move(vals_);
+    keys_.assign(new_cap, 0);
+    vals_.assign(new_cap, 0);
+    mask_ = new_cap - 1;
+    size_ = 0;
+    for (size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] != 0) Insert(old_keys[i], old_vals[i]);
+    }
+  }
+
+  std::vector<uint64_t> keys_;  // 0 = empty
+  std::vector<uint64_t> vals_;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace edgelet::net::parsim
+
+#endif  // EDGELET_NET_PARSIM_FLAT_MAP_H_

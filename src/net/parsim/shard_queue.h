@@ -1,9 +1,9 @@
 #ifndef EDGELET_NET_PARSIM_SHARD_QUEUE_H_
 #define EDGELET_NET_PARSIM_SHARD_QUEUE_H_
 
-#include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/sim_time.h"
@@ -22,14 +22,32 @@ inline uint64_t MakeTiebreak(NodeId origin, uint64_t oseq) {
          (oseq & ((uint64_t{1} << 40) - 1));
 }
 
-// One shard's event storage: a binary heap of trivially-copyable keys over
-// a generation-counted callback slab (the PR 1 serial-queue design, shared
-// here so the serial and parallel engines sort events with byte-identical
-// comparators). Cancellation bumps the slot generation (a tombstone);
-// slots recycle through a free list so steady state stops allocating.
-// Single-threaded by construction — the owning engine serializes access.
+// One shard's event storage, laid out structure-of-arrays. The heap is
+// three parallel vectors — times, tiebreaks, and packed (slot, gen) refs —
+// so a sift compares and moves 24 hot bytes per level with no callback
+// anywhere near the cache lines it touches. Slot metadata (generation,
+// owner, remote key, free link) lives in plain parallel vectors for the
+// same reason: the tombstone test that PruneHead runs per heap pop reads
+// one uint32_t, not a 64-byte Slot struct dragging a std::function along.
+//
+// Callbacks themselves sit apart in batch-allocated fixed-size chunks
+// (kFnChunkSize std::functions each). Chunks are address-stable: growth
+// appends a new chunk and never moves — or even touches — existing
+// callbacks, unlike a vector<Slot> reallocation which move-constructed
+// every std::function in the slab.
+//
+// Because (time, tiebreak) keys are globally unique, the extraction order
+// is the total key order regardless of heap internals — so this layout is
+// bit-compatible with the PR 1 AoS slab it replaces. Cancellation bumps
+// the slot generation (a tombstone); slots recycle through a free list so
+// steady state stops allocating. Single-threaded by construction — the
+// owning engine serializes access.
 class ShardQueue {
  public:
+  // Callbacks per batch-allocated chunk (power of two: index math is a
+  // shift and mask).
+  static constexpr size_t kFnChunkSize = 4096;
+
   // (slot, gen) pair the caller packs into an engine-level handle.
   struct Ticket {
     uint32_t slot = 0;
@@ -44,16 +62,24 @@ class ShardQueue {
   };
 
   void Reserve(size_t n) {
-    heap_.reserve(n);
-    slots_.reserve(n);
+    heap_time_.reserve(n);
+    heap_tie_.reserve(n);
+    heap_ref_.reserve(n);
+    slot_gen_.reserve(n);
+    slot_next_free_.reserve(n);
+    slot_owner_.reserve(n);
+    slot_remote_key_.reserve(n);
+    while (fn_chunks_.size() * kFnChunkSize < n) AddChunk();
   }
 
   Ticket Insert(SimTime t, uint64_t tiebreak, NodeId owner,
                 std::function<void()> fn, uint64_t remote_key = 0) {
     uint32_t slot = AllocSlot(std::move(fn), owner, remote_key);
-    uint32_t gen = slots_[slot].gen;
-    heap_.push_back(HeapEntry{t, tiebreak, slot, gen});
-    std::push_heap(heap_.begin(), heap_.end(), EntryLater{});
+    uint32_t gen = slot_gen_[slot];
+    heap_time_.push_back(t);
+    heap_tie_.push_back(tiebreak);
+    heap_ref_.push_back(PackRef(slot, gen));
+    SiftUp(heap_time_.size() - 1);
     ++live_;
     return {slot, gen};
   }
@@ -62,10 +88,11 @@ class ShardQueue {
   // the slot's remote key (0 if none) so the caller can drop its own
   // remote-handle mapping.
   bool CancelTicket(Ticket ticket, uint64_t* remote_key_out = nullptr) {
-    if (ticket.slot >= slots_.size()) return false;
-    Slot& s = slots_[ticket.slot];
-    if (s.gen != ticket.gen) return false;
-    if (remote_key_out != nullptr) *remote_key_out = s.remote_key;
+    if (ticket.slot >= slot_gen_.size()) return false;
+    if (slot_gen_[ticket.slot] != ticket.gen) return false;
+    if (remote_key_out != nullptr) {
+      *remote_key_out = slot_remote_key_[ticket.slot];
+    }
     FreeSlot(ticket.slot);
     --live_;
     return true;
@@ -75,7 +102,7 @@ class ShardQueue {
   // kSimTimeNever when empty.
   SimTime HeadTime() {
     PruneHead();
-    return heap_.empty() ? kSimTimeNever : heap_.front().time;
+    return heap_time_.empty() ? kSimTimeNever : heap_time_.front();
   }
 
   // Pops the earliest event if its time is <= `limit`. The slot is freed
@@ -83,90 +110,156 @@ class ShardQueue {
   // success stores the slot's remote key (0 if none).
   bool PopRunnable(SimTime limit, Ready* out, uint64_t* remote_key_out) {
     PruneHead();
-    if (heap_.empty() || heap_.front().time > limit) return false;
-    HeapEntry e = heap_.front();
+    if (heap_time_.empty() || heap_time_.front() > limit) return false;
+    uint64_t ref = heap_ref_.front();
+    uint32_t slot = static_cast<uint32_t>(ref >> 32);
+    out->time = heap_time_.front();
+    out->owner = slot_owner_[slot];
+    out->fn = std::move(FnAt(slot));
+    *remote_key_out = slot_remote_key_[slot];
     PopEntry();
     --live_;
-    Slot& s = slots_[e.slot];
-    out->time = e.time;
-    out->owner = s.owner;
-    out->fn = std::move(s.fn);
-    *remote_key_out = s.remote_key;
-    FreeSlot(e.slot);
+    FreeSlot(slot);
     return true;
   }
 
   size_t live() const { return live_; }
-  size_t slot_count() const { return slots_.size(); }
+  size_t slot_count() const { return slot_gen_.size(); }
+  size_t fn_chunk_count() const { return fn_chunks_.size(); }
 
  private:
-  // 24-byte POD heap key; sift operations never touch the std::function.
-  struct HeapEntry {
-    SimTime time;
-    uint64_t tiebreak;  // (origin, oseq): deterministic tie order
-    uint32_t slot;
-    uint32_t gen;
-  };
-  // Min-heap on (time, tiebreak) via the std heap algorithms (which build
-  // a max-heap w.r.t. the comparator, so "later" sorts toward the leaves).
-  struct EntryLater {
-    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.tiebreak > b.tiebreak;
-    }
-  };
-  struct Slot {
-    std::function<void()> fn;
-    uint64_t remote_key = 0;
-    NodeId owner = kInvalidNode;
-    uint32_t gen = 1;
-    uint32_t next_free = kNoFreeSlot;
-  };
   static constexpr uint32_t kNoFreeSlot = 0xFFFFFFFFu;
+  static constexpr size_t kFnChunkShift = 12;  // log2(kFnChunkSize)
+  static constexpr size_t kFnChunkMask = kFnChunkSize - 1;
+  static_assert(size_t{1} << kFnChunkShift == kFnChunkSize);
+
+  static uint64_t PackRef(uint32_t slot, uint32_t gen) {
+    return (static_cast<uint64_t>(slot) << 32) | gen;
+  }
+
+  std::function<void()>& FnAt(uint32_t slot) {
+    return fn_chunks_[slot >> kFnChunkShift][slot & kFnChunkMask];
+  }
+
+  void AddChunk() {
+    fn_chunks_.push_back(
+        std::make_unique<std::function<void()>[]>(kFnChunkSize));
+  }
 
   uint32_t AllocSlot(std::function<void()> fn, NodeId owner,
                      uint64_t remote_key) {
     uint32_t slot;
     if (free_head_ != kNoFreeSlot) {
       slot = free_head_;
-      free_head_ = slots_[slot].next_free;
+      free_head_ = slot_next_free_[slot];
     } else {
-      slot = static_cast<uint32_t>(slots_.size());
-      slots_.emplace_back();
+      slot = static_cast<uint32_t>(slot_gen_.size());
+      slot_gen_.push_back(1);
+      slot_next_free_.push_back(kNoFreeSlot);
+      slot_owner_.push_back(kInvalidNode);
+      slot_remote_key_.push_back(0);
+      if ((static_cast<size_t>(slot) >> kFnChunkShift) >= fn_chunks_.size()) {
+        AddChunk();
+      }
     }
-    Slot& s = slots_[slot];
-    s.fn = std::move(fn);
-    s.owner = owner;
-    s.remote_key = remote_key;
+    FnAt(slot) = std::move(fn);
+    slot_owner_[slot] = owner;
+    slot_remote_key_[slot] = remote_key;
     return slot;
   }
 
   void FreeSlot(uint32_t slot) {
-    Slot& s = slots_[slot];
-    s.fn = nullptr;
-    s.remote_key = 0;
+    FnAt(slot) = nullptr;
+    slot_remote_key_[slot] = 0;
     // Bumping the generation tombstones every outstanding handle and heap
     // entry that still refers to this slot.
-    ++s.gen;
-    s.next_free = free_head_;
+    ++slot_gen_[slot];
+    slot_next_free_[slot] = free_head_;
     free_head_ = slot;
   }
 
-  bool IsTombstone(const HeapEntry& e) const {
-    return slots_[e.slot].gen != e.gen;
+  // a orders strictly before b; keys are globally unique so no equal case.
+  bool Earlier(SimTime ta, uint64_t tia, size_t b) const {
+    return ta != heap_time_[b] ? ta < heap_time_[b] : tia < heap_tie_[b];
+  }
+
+  // Hole-shifting sifts: the moving key rides in registers while parents /
+  // children shift through the hole, halving the stores of a swap chain.
+  void SiftUp(size_t i) {
+    SimTime t = heap_time_[i];
+    uint64_t tie = heap_tie_[i];
+    uint64_t ref = heap_ref_[i];
+    while (i > 0) {
+      size_t parent = (i - 1) / 2;
+      if (!Earlier(t, tie, parent)) break;
+      heap_time_[i] = heap_time_[parent];
+      heap_tie_[i] = heap_tie_[parent];
+      heap_ref_[i] = heap_ref_[parent];
+      i = parent;
+    }
+    heap_time_[i] = t;
+    heap_tie_[i] = tie;
+    heap_ref_[i] = ref;
+  }
+
+  void SiftDown(size_t i) {
+    const size_t n = heap_time_.size();
+    SimTime t = heap_time_[i];
+    uint64_t tie = heap_tie_[i];
+    uint64_t ref = heap_ref_[i];
+    for (;;) {
+      size_t child = 2 * i + 1;
+      if (child >= n) break;
+      size_t right = child + 1;
+      if (right < n &&
+          Earlier(heap_time_[right], heap_tie_[right], child)) {
+        child = right;
+      }
+      if (Earlier(t, tie, child)) break;
+      heap_time_[i] = heap_time_[child];
+      heap_tie_[i] = heap_tie_[child];
+      heap_ref_[i] = heap_ref_[child];
+      i = child;
+    }
+    heap_time_[i] = t;
+    heap_tie_[i] = tie;
+    heap_ref_[i] = ref;
+  }
+
+  bool HeadIsTombstone() const {
+    uint64_t ref = heap_ref_.front();
+    return slot_gen_[static_cast<uint32_t>(ref >> 32)] !=
+           static_cast<uint32_t>(ref);
   }
 
   void PopEntry() {
-    std::pop_heap(heap_.begin(), heap_.end(), EntryLater{});
-    heap_.pop_back();
+    size_t last = heap_time_.size() - 1;
+    if (last != 0) {
+      heap_time_.front() = heap_time_[last];
+      heap_tie_.front() = heap_tie_[last];
+      heap_ref_.front() = heap_ref_[last];
+    }
+    heap_time_.pop_back();
+    heap_tie_.pop_back();
+    heap_ref_.pop_back();
+    if (heap_time_.size() > 1) SiftDown(0);
   }
 
   void PruneHead() {
-    while (!heap_.empty() && IsTombstone(heap_.front())) PopEntry();
+    while (!heap_time_.empty() && HeadIsTombstone()) PopEntry();
   }
 
-  std::vector<HeapEntry> heap_;
-  std::vector<Slot> slots_;
+  // Heap keys, index-parallel: a sift touches these three arrays only.
+  std::vector<SimTime> heap_time_;
+  std::vector<uint64_t> heap_tie_;
+  std::vector<uint64_t> heap_ref_;  // (slot << 32) | gen
+  // Slot metadata, index-parallel by slot id.
+  std::vector<uint32_t> slot_gen_;
+  std::vector<uint32_t> slot_next_free_;
+  std::vector<NodeId> slot_owner_;
+  std::vector<uint64_t> slot_remote_key_;
+  // Callback slab: address-stable fixed-size chunks.
+  std::vector<std::unique_ptr<std::function<void()>[]>> fn_chunks_;
   uint32_t free_head_ = kNoFreeSlot;
   size_t live_ = 0;
 };

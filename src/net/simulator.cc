@@ -1,5 +1,6 @@
 #include "net/simulator.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace edgelet::net {
@@ -13,7 +14,11 @@ Simulator::Simulator(uint64_t seed) : seed_(seed), rng_(seed) {
 void Simulator::ReserveEvents(size_t n) { queue_.Reserve(n); }
 
 uint64_t Simulator::NextOseq(NodeId origin) {
-  if (origin >= oseq_.size()) oseq_.resize(origin + 1, 0);
+  // Geometric growth: node ids register densely, so resize(origin + 1)
+  // would reallocate-and-copy once per new node id.
+  if (origin >= oseq_.size()) {
+    oseq_.resize(std::max<size_t>(origin + 1, oseq_.size() * 2), 0);
+  }
   return oseq_[origin]++;
 }
 

@@ -18,9 +18,11 @@ namespace {
 using query::AggregateFunction;
 using query::CompareOp;
 
-uint64_t RunFingerprint(uint64_t seed, size_t sim_shards) {
+uint64_t RunFingerprint(uint64_t seed, size_t sim_shards,
+                        size_t cohort_size = 1) {
   FrameworkConfig cfg;
   cfg.fleet.num_contributors = 160;
+  cfg.fleet.contributor_cohort_size = cohort_size;
   cfg.fleet.num_processors = 36;
   // Churn on: every device draws dwell times from its NodeRng stream, the
   // part of the determinism story that used to hang off a single global
@@ -64,6 +66,21 @@ TEST(ParsimDeterminismTest, FingerprintIdenticalAcrossShardCounts) {
           << "seed " << seed << ", " << shards << " shards";
     }
   }
+}
+
+// Cohort fleets (many contributor members folded onto one device, the 1M+
+// sweep configuration) must uphold the same contract: a whole cohort lives
+// on one shard, so per-member contribution order — and therefore the full
+// report — is a pure function of the seed, not the shard count.
+TEST(ParsimDeterminismTest, CohortFingerprintIdenticalAcrossShardCounts) {
+  const uint64_t serial = RunFingerprint(11, 1, /*cohort_size=*/8);
+  for (size_t shards : {size_t{2}, size_t{4}}) {
+    EXPECT_EQ(RunFingerprint(11, shards, /*cohort_size=*/8), serial)
+        << shards << " shards";
+  }
+  // Different fold factor => different device ids and send times; guards
+  // against the cohort path degenerating to a constant report.
+  EXPECT_NE(RunFingerprint(11, 2, /*cohort_size=*/4), serial);
 }
 
 TEST(ParsimDeterminismTest, DistinctSeedsStillDiffer) {

@@ -214,6 +214,142 @@ TEST(ParsimTest, RunUntilIsInclusiveAndResumable) {
   EXPECT_EQ(fired, (std::vector<SimTime>{100, 200, 300}));
 }
 
+// A lookahead wider than the network's true minimum latency means
+// cross-shard deliveries land inside the window that sent them — the
+// misconfiguration lookahead_violations_ exists to expose. The correctly
+// configured engine (lookahead == min_latency) must count zero on the same
+// workload.
+TEST(ParsimTest, MisconfiguredLookaheadCountsViolationsCorrectOneDoesNot) {
+  auto run = [](SimDuration engine_lookahead) {
+    parsim::ParallelSimulator::Options options;
+    options.num_shards = 2;
+    options.lookahead = engine_lookahead;
+    parsim::ParallelSimulator engine(1, options);
+    // The "network" schedules cross-shard deliveries kLookahead/2 out —
+    // its true minimum latency. Node 1 (shard 1) -> node 2 (shard 0).
+    for (int i = 0; i < 4; ++i) {
+      engine.ScheduleAt(1, 100 + i * 2 * kLookahead, [&engine]() {
+        engine.ScheduleAfter(2, kLookahead / 2, []() {});
+      });
+    }
+    engine.Run();
+    return engine.lookahead_violations();
+  };
+  EXPECT_EQ(run(kLookahead / 2), 0u);   // lookahead == true min latency
+  EXPECT_EQ(run(kLookahead), 4u);       // lookahead 2x too large: every
+                                        // cross-shard send is flagged
+}
+
+// Window batching: a workload where one shard is busy while every other
+// shard's next event is far away must be covered by solo windows (one
+// shard running alone past the static window width), with far fewer
+// rounds than the unbatched engine would spend — while still matching the
+// serial schedule exactly.
+// Node 1 ticks a long dense local chain; node 2's lone event sits far in
+// the future. Both logs are single-writer (one node each).
+struct Sparse {
+  static constexpr int kChainLen = 200;
+  static constexpr SimDuration kStep = kLookahead / 4;
+  SimEngine* engine = nullptr;
+  std::vector<SimTime> chain_log;  // node 1 only
+  SimTime far_fired = 0;           // node 2 only
+
+  void Seed() {
+    engine->ScheduleAt(1, 5, [this]() { Tick(kChainLen - 1); });
+    engine->ScheduleAt(2, 500 * kLookahead,
+                       [this]() { far_fired = engine->now(); });
+  }
+  void Tick(int remaining) {
+    chain_log.push_back(engine->now());
+    if (remaining > 0) {
+      engine->ScheduleAfter(1, kStep,
+                            [this, remaining]() { Tick(remaining - 1); });
+    }
+  }
+};
+
+TEST(ParsimTest, SparseWorkloadBatchesIntoSoloWindows) {
+  Sparse serial_w;
+  Simulator serial(1);
+  serial_w.engine = &serial;
+  serial_w.Seed();
+  serial.Run();
+  ASSERT_EQ(serial_w.chain_log.size(), size_t{Sparse::kChainLen});
+
+  Sparse par_w;
+  auto engine = MakeParallel(4);
+  par_w.engine = engine.get();
+  par_w.Seed();
+  engine->Run();
+
+  EXPECT_EQ(par_w.chain_log, serial_w.chain_log);
+  EXPECT_EQ(par_w.far_fired, serial_w.far_fired);
+  EXPECT_EQ(engine->lookahead_violations(), 0u);
+  auto stats = engine->batch_stats();
+  EXPECT_GT(stats.solo_windows, 0u);
+  // Unbatched, the chain alone spans kChainLen * kStep / lookahead = 50
+  // windows plus ~450 empty-gap windows before node 2 fires. Batching must
+  // collapse the whole run into a handful of rounds.
+  EXPECT_LT(stats.windows, 10u);
+}
+
+// The boomerang hazard of solo batching: while shard(1) runs alone, a
+// transfer it emits at tau can wake shard(0), whose reply legally lands
+// back on shard(1) at tau + lookahead — inside the naively extended
+// window. The dynamic clamp (exec_limit <= tau + L - 1) must stop the solo
+// shard there, or the reply merges after later local events already ran.
+// Node 1: dense local chain. Midway it pings node 2 exactly one lookahead
+// out; node 2 replies to node 1 another lookahead later. The reply's time
+// sits inside what the solo span would have covered without the clamp, so
+// node 1's log order (chain tick at the reply's time first — lower origin
+// — then the reply, then the rest of the chain) is the discriminator.
+struct Boomerang {
+  static constexpr int kChainLen = 100;
+  static constexpr SimDuration kStep = kLookahead / 10;
+  SimEngine* engine = nullptr;
+  std::vector<uint64_t> log1;  // node 1 only
+  std::vector<uint64_t> log2;  // node 2 only
+
+  void Seed() {
+    engine->ScheduleAt(1, 3, [this]() { Tick(kChainLen - 1); });
+    engine->ScheduleAt(1, 3 + 20 * kStep, [this]() {
+      engine->ScheduleAfter(2, kLookahead, [this]() {
+        log2.push_back(engine->now());
+        engine->ScheduleAfter(1, kLookahead, [this]() {
+          log1.push_back(engine->now() | (uint64_t{1} << 62));
+        });
+      });
+    });
+  }
+  void Tick(int remaining) {
+    log1.push_back(engine->now());
+    if (remaining > 0) {
+      engine->ScheduleAfter(1, kStep,
+                            [this, remaining]() { Tick(remaining - 1); });
+    }
+  }
+};
+
+TEST(ParsimTest, SoloBatchBoomerangReplyMatchesSerial) {
+  Boomerang serial_w;
+  Simulator serial(1);
+  serial_w.engine = &serial;
+  serial_w.Seed();
+  serial.Run();
+  ASSERT_EQ(serial_w.log2.size(), 1u);
+
+  for (size_t shards : {size_t{2}, size_t{4}}) {
+    Boomerang par_w;
+    auto engine = MakeParallel(shards);
+    par_w.engine = engine.get();
+    par_w.Seed();
+    engine->Run();
+    EXPECT_EQ(par_w.log1, serial_w.log1) << shards << " shards";
+    EXPECT_EQ(par_w.log2, serial_w.log2) << shards << " shards";
+    EXPECT_EQ(engine->lookahead_violations(), 0u) << shards << " shards";
+  }
+}
+
 // Satellite regression: a mailbox-TTL purge racing a reconnect across a
 // window barrier. The receiver reconnects one window after the TTL
 // elapsed; serial and sharded engines must agree on whether the queued

@@ -1,0 +1,152 @@
+// Unit tests for the SoA ShardQueue slab: global (time, tiebreak) pop
+// order across callback-chunk boundaries, Reserve preallocation, slot and
+// chunk recycling in steady state, and generation-counted cancellation.
+// The engine-level behaviour built on top lives in net_parsim_test.cc.
+
+#include "net/parsim/shard_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace edgelet::net::parsim {
+namespace {
+
+TEST(ShardQueueTest, PopsInGlobalKeyOrderAcrossChunkBoundaries) {
+  // More events than three callback chunks hold, inserted in a scrambled
+  // order so growth and sifts interleave; extraction must be the sorted
+  // (time, tiebreak) order regardless of how the slab grew.
+  const size_t kEvents = 3 * ShardQueue::kFnChunkSize + 500;
+  ShardQueue q;
+  std::vector<uint64_t> fired;
+  fired.reserve(kEvents);
+  for (size_t i = 0; i < kEvents; ++i) {
+    // Multiplicative scramble: 7919 is coprime to kEvents (= 2^2*23*139),
+    // so i -> k is a permutation and every key is unique.
+    uint64_t k = i * 7919 % kEvents;
+    SimTime t = 10 + (k % 97);  // many ties: tiebreak must break them
+    uint64_t tie = MakeTiebreak(static_cast<NodeId>(1 + k % 5), k);
+    q.Insert(t, tie, static_cast<NodeId>(1 + k % 5),
+             [&fired, k]() { fired.push_back(k); });
+  }
+  EXPECT_EQ(q.live(), kEvents);
+  EXPECT_GE(q.fn_chunk_count(), 4u);
+
+  std::vector<std::pair<SimTime, uint64_t>> keys;
+  ShardQueue::Ready ready;
+  uint64_t remote_key = 0;
+  while (q.PopRunnable(kSimTimeNever, &ready, &remote_key)) {
+    keys.emplace_back(ready.time, 0);
+    ready.fn();
+    keys.back().second = MakeTiebreak(ready.owner, fired.back());
+  }
+  ASSERT_EQ(keys.size(), kEvents);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_EQ(q.live(), 0u);
+}
+
+TEST(ShardQueueTest, ReservePreallocatesChunksUpFront) {
+  ShardQueue q;
+  q.Reserve(10000);
+  // ceil(10000 / 4096) chunks exist before any insert; no slots yet.
+  EXPECT_EQ(q.fn_chunk_count(), 3u);
+  EXPECT_EQ(q.slot_count(), 0u);
+  for (size_t i = 0; i < 10000; ++i) {
+    q.Insert(i, MakeTiebreak(1, i), 1, []() {});
+  }
+  // Filling the reserved capacity added nothing.
+  EXPECT_EQ(q.fn_chunk_count(), 3u);
+  EXPECT_EQ(q.slot_count(), 10000u);
+  // Chunks are fixed-size, so the reservation really holds 3 full chunks;
+  // only the slot one past that grows the slab, by exactly one chunk.
+  for (size_t i = 10000; i < 3 * ShardQueue::kFnChunkSize; ++i) {
+    q.Insert(i, MakeTiebreak(1, i), 1, []() {});
+  }
+  EXPECT_EQ(q.fn_chunk_count(), 3u);
+  q.Insert(99999, MakeTiebreak(1, 99999), 1, []() {});
+  EXPECT_EQ(q.fn_chunk_count(), 4u);
+}
+
+TEST(ShardQueueTest, SlotRecyclingKeepsSlabFlatAcrossCycles) {
+  // The steady-state pattern of a long simulation: a bounded set of
+  // in-flight events churning forever. Freed slots must recycle — the slab
+  // footprint stays at the high-water mark instead of growing per insert.
+  constexpr size_t kInFlight = 100;
+  ShardQueue q;
+  SimTime t = 0;
+  uint64_t oseq = 0;
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    for (size_t i = 0; i < kInFlight; ++i) {
+      q.Insert(t + i, MakeTiebreak(1, oseq++), 1, []() {});
+    }
+    ShardQueue::Ready ready;
+    uint64_t remote_key = 0;
+    size_t popped = 0;
+    while (q.PopRunnable(kSimTimeNever, &ready, &remote_key)) ++popped;
+    EXPECT_EQ(popped, kInFlight);
+    EXPECT_EQ(q.slot_count(), kInFlight) << "cycle " << cycle;
+    EXPECT_EQ(q.fn_chunk_count(), 1u) << "cycle " << cycle;
+    t += kInFlight;
+  }
+}
+
+TEST(ShardQueueTest, CancelTombstonesEntryAndReportsRemoteKey) {
+  ShardQueue q;
+  int ran = 0;
+  auto bump = [&ran]() { ++ran; };
+  ShardQueue::Ticket a = q.Insert(10, MakeTiebreak(1, 0), 1, bump, 111);
+  ShardQueue::Ticket b = q.Insert(20, MakeTiebreak(1, 1), 1, bump, 222);
+  ShardQueue::Ticket c = q.Insert(30, MakeTiebreak(1, 2), 1, bump, 0);
+  (void)a;
+  (void)c;
+
+  uint64_t remote_key = 0;
+  EXPECT_TRUE(q.CancelTicket(b, &remote_key));
+  EXPECT_EQ(remote_key, 222u);
+  EXPECT_FALSE(q.CancelTicket(b, &remote_key));  // generation moved on
+  EXPECT_EQ(q.live(), 2u);
+
+  // HeadTime prunes tombstones lazily; the cancelled entry never surfaces.
+  EXPECT_EQ(q.HeadTime(), 10u);
+  ShardQueue::Ready ready;
+  EXPECT_TRUE(q.PopRunnable(kSimTimeNever, &ready, &remote_key));
+  EXPECT_EQ(ready.time, 10u);
+  EXPECT_EQ(remote_key, 111u);
+  EXPECT_TRUE(q.PopRunnable(kSimTimeNever, &ready, &remote_key));
+  EXPECT_EQ(ready.time, 30u);
+  EXPECT_EQ(remote_key, 0u);
+  EXPECT_FALSE(q.PopRunnable(kSimTimeNever, &ready, &remote_key));
+  EXPECT_EQ(q.HeadTime(), kSimTimeNever);
+}
+
+TEST(ShardQueueTest, RecycledSlotInvalidatesStaleTicket) {
+  ShardQueue q;
+  ShardQueue::Ticket old = q.Insert(5, MakeTiebreak(1, 0), 1, []() {});
+  EXPECT_TRUE(q.CancelTicket(old));
+  // The freed slot is reused by the next insert with a bumped generation.
+  ShardQueue::Ticket fresh = q.Insert(6, MakeTiebreak(1, 1), 1, []() {});
+  EXPECT_EQ(fresh.slot, old.slot);
+  EXPECT_NE(fresh.gen, old.gen);
+  EXPECT_FALSE(q.CancelTicket(old));  // stale handle cannot hit the new event
+  EXPECT_EQ(q.live(), 1u);
+  EXPECT_EQ(q.HeadTime(), 6u);
+}
+
+TEST(ShardQueueTest, PopRespectsInclusiveLimit) {
+  ShardQueue q;
+  q.Insert(100, MakeTiebreak(1, 0), 1, []() {});
+  q.Insert(200, MakeTiebreak(1, 1), 1, []() {});
+  ShardQueue::Ready ready;
+  uint64_t remote_key = 0;
+  EXPECT_FALSE(q.PopRunnable(99, &ready, &remote_key));
+  EXPECT_TRUE(q.PopRunnable(100, &ready, &remote_key));  // limit is inclusive
+  EXPECT_EQ(ready.time, 100u);
+  EXPECT_FALSE(q.PopRunnable(199, &ready, &remote_key));
+  EXPECT_EQ(q.live(), 1u);
+}
+
+}  // namespace
+}  // namespace edgelet::net::parsim
